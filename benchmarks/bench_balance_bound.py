@@ -1,0 +1,76 @@
+"""Ablation A6: the §4 load-balance bounds, measured.
+
+"For n servers and m file sets, each server contains load
+ceil(m/n + 1) with high probability [with the multiple-choice
+heuristic] ... simple randomization['s] load is bounded by
+ceil(m/n + Θ(lg n / lg lg n) + 1)."
+
+Monte Carlo over the real hash family: the d-choice max load must hug
+the m/n + O(1) curve while one-choice placements show the classic
+lg n / lg lg n overshoot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    anu_balance_bound,
+    measure_balance,
+    simple_randomization_bound,
+)
+from repro.metrics import ascii_table
+
+from .conftest import run_once
+
+CASES = ((64, 8), (256, 16), (1_024, 32))
+TRIALS = 15
+
+
+def _collect():
+    out = {}
+    for m, n in CASES:
+        out[(m, n)] = measure_balance(m=m, n=n, trials=TRIALS, d=2, seed=7)
+    return out
+
+
+def test_balance_bounds(benchmark):
+    measured = run_once(benchmark, _collect)
+
+    rows = []
+    for (m, n), schemes in measured.items():
+        for scheme, samples in schemes.items():
+            max_loads = np.array([s.max_load for s in samples])
+            rows.append(
+                {
+                    "m": m,
+                    "n": n,
+                    "scheme": scheme,
+                    "mean_max_load": float(max_loads.mean()),
+                    "worst_max_load": int(max_loads.max()),
+                    "anu_bound": anu_balance_bound(m, n),
+                    "simple_bound": simple_randomization_bound(m, n),
+                }
+            )
+    print("\nA6 — measured max loads vs the §4 bounds:")
+    print(ascii_table(rows, digits=2))
+
+    for (m, n), schemes in measured.items():
+        mc_max = np.array([s.max_load for s in schemes["multi"]])
+        single_max = np.array([s.max_load for s in schemes["single"]])
+        uniform_max = np.array([s.max_load for s in schemes["uniform"]])
+
+        # d-choice: near the m/n + O(1) bound (finite-m slack of a few).
+        assert mc_max.max() <= anu_balance_bound(m, n) + 4, (m, n)
+
+        # one-choice overshoot grows with n and exceeds the d-choice
+        # overshoot on average.
+        assert single_max.mean() >= mc_max.mean(), (m, n)
+        assert uniform_max.mean() >= mc_max.mean(), (m, n)
+
+    # The variance gap widens with n (the Θ(lg n / lg lg n) term): the
+    # one-choice overshoot at n=32 exceeds the one at n=8 relative to
+    # m/n.
+    over8 = np.mean([s.overshoot for s in measured[(64, 8)]["uniform"]])
+    over32 = np.mean([s.overshoot for s in measured[(1_024, 32)]["uniform"]])
+    assert over32 > over8

@@ -1,0 +1,58 @@
+"""Figure 5: server latency over time, synthetic workload, four systems.
+
+Regenerates the paper's central figure and checks its qualitative
+shape:
+
+* simple randomization's weakest server degrades monotonically while
+  powerful servers idle;
+* prescient and VP are balanced from t = 0;
+* ANU converges within a handful of tuning rounds.
+
+Run with ``pytest benchmarks/bench_fig5_synth_latency.py --benchmark-only -s``
+to see the regenerated series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig5
+from repro.metrics import convergence_round
+
+from .conftest import BENCH_SEED, run_once
+
+
+def test_fig5_regenerate(benchmark, fig5_data, scale):
+    data = run_once(benchmark, lambda: fig5_data)
+    print("\n" + fig5.render(data))
+
+    results = data.results
+
+    # -- simple randomization: weakest server degrades ------------------- #
+    simple = results["simple"]
+    s0 = simple.server_latency[0].values()
+    s0 = s0[~np.isnan(s0)]
+    assert s0[-1] > 5 * s0[0], "simple randomization's server 0 must degrade"
+    assert simple.server_utilization[4] < 0.6, "powerful server left idle"
+    assert simple.unfinished > 0, "overload must leave a backlog"
+
+    # -- prescient/VP balanced from the start ----------------------------- #
+    for system in ("prescient", "virtual"):
+        first = {
+            sid: ts.values()[0]
+            for sid, ts in results[system].server_latency.items()
+        }
+        finite = [v for v in first.values() if not np.isnan(v)]
+        assert max(finite) < 50 * min(finite), f"{system} imbalanced at t=0"
+
+    # -- ANU converges ------------------------------------------------------ #
+    anu = results["anu"]
+    assert anu.completed == anu.submitted, "ANU must not leave a backlog"
+    conv = convergence_round(anu, tolerance=3.0, min_quiet=2)
+    max_round = max(1, int(10 * scale * 10))
+    assert conv is not None and conv <= 30, (
+        f"ANU should converge within tens of rounds (got {conv})"
+    )
+    assert (
+        anu.aggregate_mean_latency < results["simple"].aggregate_mean_latency
+    ), "ANU must beat static placement"

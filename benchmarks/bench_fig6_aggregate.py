@@ -1,0 +1,46 @@
+"""Figure 6: aggregated metrics comparison (reuses the Figure 5 run).
+
+(a) aggregate mean latency ± std: prescient best, VP slightly worse,
+ANU close without any a-priori knowledge;
+(b) per-server means: ANU consistent across busy servers, the weakest
+server nearly idle (the paper's server-0 footnote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig6
+from repro.metrics import jain_index, steady_state_means
+
+from .conftest import run_once
+
+
+def test_fig6_regenerate(benchmark, fig5_data):
+    data = run_once(benchmark, lambda: fig6.run(fig5=fig5_data))
+    print("\n" + fig6.render(data))
+
+    results = data.results
+    prescient = results["prescient"].aggregate_mean_latency
+    vp = results["virtual"].aggregate_mean_latency
+    anu = results["anu"].aggregate_mean_latency
+
+    # (a) ordering: prescient is the floor; VP(v=5) close behind; ANU in
+    # the same regime without the oracle (the paper's "fairly close" —
+    # we allow a small integer factor; EXPERIMENTS.md reports the
+    # measured ratios and the steady-state view).
+    assert prescient <= vp * 1.05, "prescient must (≈)lower-bound VP"
+    assert prescient <= anu, "prescient must lower-bound ANU"
+    assert anu <= 8 * prescient, "ANU must stay within a small factor"
+
+    # (b) weakest server serves a tiny share under ANU (paper: 0.37%).
+    share0 = results["anu"].request_share(0)
+    assert share0 < 0.05, f"server 0 should be nearly idle (got {share0:.2%})"
+
+    # (b) consistency across busy servers once balanced: judge the
+    # steady-state window (post-convergence), like the paper's "once
+    # the system reaches balance".
+    ss = steady_state_means(results["anu"])
+    active = np.array([v for s, v in ss.items() if s != 0 and not np.isnan(v)])
+    assert active.size >= 3
+    assert jain_index(active) > 0.5, f"inconsistent steady state: {ss}"

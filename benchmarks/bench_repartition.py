@@ -1,0 +1,78 @@
+"""Figure 3 mechanics: re-partitioning when adding servers.
+
+"Adding a fifth server re-partitions the unit interval, creating new
+partitions for more servers to be added. ... Further partitioning the
+unit interval does not move any existing load and does not change the
+hash functions that address load, as does linear hashing." (§4)
+
+Measures both correctness (zero moved measure, preserved addressing)
+and the cost of the operation as the cluster scales.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ANUManager,
+    HashFamily,
+    IntervalLayout,
+    region_difference,
+    required_partitions,
+)
+from repro.metrics import ascii_table
+
+from .conftest import run_once
+
+
+def test_figure3_add_server_sequence(benchmark):
+    """Grow a 4-server cluster to 64 servers, one admission at a time."""
+
+    def grow():
+        mgr = ANUManager(server_ids=[0, 1, 2, 3], hash_family=HashFamily(seed=0))
+        mgr.register_filesets([f"/fs{i}" for i in range(200)])
+        log = []
+        for new_sid in range(4, 64):
+            p_before = mgr.layout.n_partitions
+            rec = mgr.add_server(new_sid)
+            log.append(
+                {
+                    "servers": new_sid + 1,
+                    "partitions": mgr.layout.n_partitions,
+                    "repartitioned": mgr.layout.n_partitions != p_before,
+                    "moves": rec.moved,
+                }
+            )
+            mgr.layout.check_invariants()
+        return mgr, log
+
+    mgr, log = run_once(benchmark, grow)
+    print("\nFigure 3 — admissions that re-partitioned:")
+    print(ascii_table([row for row in log if row["repartitioned"]]))
+
+    # Partition count always matches the formula.
+    for row in log:
+        assert row["partitions"] == required_partitions(row["servers"])
+
+    # Figure 3's specific instant: the 5th server doubles 8 -> 16.
+    fifth = next(r for r in log if r["servers"] == 5)
+    assert fifth["repartitioned"] and fifth["partitions"] == 16
+
+    # Admissions stay local: each moves at most the new server's share
+    # of the namespace plus ripple.
+    for row in log:
+        assert row["moves"] <= 200 // 2, row
+
+
+def test_repartition_moves_no_load(benchmark):
+    """Doubling the partition count is measure-preserving at any size."""
+
+    def doubling():
+        diffs = []
+        for k in (3, 10, 40):
+            layout = IntervalLayout.initial(list(range(k)))
+            before = layout.copy()
+            layout.repartition()
+            diffs.append(region_difference(before, layout))
+        return diffs
+
+    diffs = run_once(benchmark, doubling)
+    assert all(d < 1e-9 for d in diffs), diffs

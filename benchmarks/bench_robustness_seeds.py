@@ -1,0 +1,68 @@
+"""Robustness: the headline comparison across workload seeds.
+
+The paper reports a single simulation run. A reproduction should show
+the result is not a seed artifact: across workload seeds, ANU must
+always beat static placement, complete the workload, and keep the
+weakest server nearly idle; the prescient floor must stay the floor.
+EXPERIMENTS.md records the measured spread (including the heavy-tailed
+worst case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import mean_sem
+from repro.experiments.config import paper_config
+from repro.experiments.runner import _fresh_workload, run_system
+from repro.metrics import ascii_table
+from repro.workloads import generate_synthetic
+
+from .conftest import run_once
+
+SEEDS = (1, 2, 3)
+
+
+def _run_seeds(scale: float):
+    out = {}
+    for seed in SEEDS:
+        config = paper_config(seed=seed, scale=scale)
+        workload = generate_synthetic(config.synthetic_config(), seed=seed)
+        out[seed] = {
+            system: run_system(system, _fresh_workload(workload), config)
+            for system in ("simple", "anu", "prescient")
+        }
+    return out
+
+
+def test_multi_seed_robustness(benchmark, scale):
+    all_results = run_once(benchmark, lambda: _run_seeds(scale))
+
+    rows = []
+    for seed, results in all_results.items():
+        for system, res in results.items():
+            rows.append(
+                {
+                    "seed": seed,
+                    "system": system,
+                    "mean_latency": res.aggregate_mean_latency,
+                    "moves": res.total_moves,
+                    "share0_%": res.request_share(0) * 100.0,
+                }
+            )
+    print("\nmulti-seed robustness:")
+    print(ascii_table(rows))
+    anu_means = [r["anu"].aggregate_mean_latency for r in all_results.values()]
+    mean, sem = mean_sem(anu_means)
+    print(f"ANU mean latency across seeds: {mean:.2f} ± {sem:.2f} (SEM)")
+
+    for seed, results in all_results.items():
+        assert (
+            results["anu"].aggregate_mean_latency
+            < results["simple"].aggregate_mean_latency
+        ), f"seed {seed}"
+        assert results["anu"].completed == results["anu"].submitted, f"seed {seed}"
+        assert results["anu"].request_share(0) < 0.06, f"seed {seed}"
+        assert results["prescient"].aggregate_mean_latency <= min(
+            r.aggregate_mean_latency for r in results.values()
+        ) * 1.5, f"seed {seed}"

@@ -1,0 +1,58 @@
+"""Ablation A5: replicated shared-state size across schemes (§5.4, §6).
+
+Scales the cluster and namespace and prints the replicated-state table:
+ANU's region map stays O(k) while the VP table is O(Nv) = O(v·k) and a
+lookup table is O(m). This is the scalability argument the conclusion
+makes against both bin-packing and VP schemes.
+"""
+
+from __future__ import annotations
+
+from repro.core import IntervalLayout
+from repro.distributed import state_table
+from repro.metrics import ascii_table
+
+from .conftest import run_once
+
+#: (servers, file sets) cluster sizes; v = 5 VPs per server throughout.
+SIZES = ((5, 50), (20, 400), (100, 5_000), (1_000, 100_000))
+
+
+def _collect():
+    rows = []
+    for k, m in SIZES:
+        layout = IntervalLayout.initial(list(range(k)))
+        for fp in state_table(layout, n_virtual=5 * k, n_filesets=m):
+            rows.append(
+                {
+                    "servers": k,
+                    "filesets": m,
+                    "scheme": fp.scheme,
+                    "entries": fp.entries,
+                    "bytes": fp.bytes,
+                    "probes": fp.lookup_probes,
+                }
+            )
+    return rows
+
+
+def test_state_size_scaling(benchmark):
+    rows = run_once(benchmark, _collect)
+    print("\nA5 — replicated state across schemes and scales:")
+    print(ascii_table(rows, digits=1))
+
+    by = {(r["servers"], r["scheme"]): r["entries"] for r in rows}
+
+    for k, m in SIZES:
+        # ANU is O(k): bounded by 2 entries per server (<=1 full run +
+        # 1 partial segment at the equal-share layout).
+        assert by[(k, "anu")] <= 2 * k
+        # VP(v=5) is 5x the server count; the table is the namespace.
+        assert by[(k, "virtual")] == 5 * k
+        assert by[(k, "table")] == m
+        # the §5.4 ordering at every scale
+        assert by[(k, "simple")] <= by[(k, "anu")] < by[(k, "virtual")] < by[(k, "table")]
+
+    # ANU's growth from 5 to 1000 servers is linear in k, not in m.
+    growth = by[(1_000, "anu")] / by[(5, "anu")]
+    assert growth <= (1_000 / 5) * 2

@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure benchmarks.
+
+The benches regenerate every figure of the paper at full experiment
+scale by default. Set ``REPRO_BENCH_SCALE`` (0 < s <= 1) to shrink the
+runs for smoke testing::
+
+    REPRO_BENCH_SCALE=0.1 pytest benchmarks/ --benchmark-only
+
+Figures 5, 6 and 7 are different views of the *same* synthetic run, so
+that run executes once per session and is shared.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import fig5
+
+
+def bench_scale() -> float:
+    """Experiment scale for this session (env-var override)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    scale = float(raw)
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be in (0, 1], got {raw}")
+    return scale
+
+
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def fig5_data(scale):
+    """The four-system synthetic comparison (Figures 5, 6, 7 share it)."""
+    return fig5.run(seed=BENCH_SEED, scale=scale)
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once.
+
+    Figure regenerations are minutes-of-simulated-time experiments, not
+    microbenchmarks; pytest-benchmark's default calibration would re-run
+    them dozens of times for no statistical gain.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Why metadata balance matters: clients blocked on metadata starve the SAN.
+
+"Imbalance in file servers adversely affects overall system
+performance, because clients acquire metadata prior to data. Clients
+blocked on metadata may leave the high bandwidth SAN underutilized."
+(§3)
+
+This example runs the *full* shared-disk access path — metadata request
+to a file server, then a striped data transfer from the shared disks —
+under two metadata tiers: a badly imbalanced one (everything hashed to
+the weakest server) and a balanced one. Same disks, same workload; the
+SAN utilization and end-to-end access latency tell the story.
+
+Run:  python examples/san_bottleneck.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import AccessClient, DiskArray, FileServer
+from repro.sim import Simulator
+
+POWERS = {0: 1.0, 1: 3.0, 2: 5.0, 3: 7.0, 4: 9.0}
+N_ACCESSES = 600
+META_WORK = 2.0
+DATA_SIZE = 200.0  # data units per access
+WINDOW = 400.0  # measurement window (seconds)
+
+
+def run(route_mode: str) -> dict:
+    env = Simulator()
+    servers = {sid: FileServer(env, sid, p) for sid, p in POWERS.items()}
+    disks = DiskArray(env, bandwidths=[400.0] * 4, stripe_unit=64.0)
+
+    if route_mode == "imbalanced":
+        # Pathological placement: every file set on the weakest server.
+        route = lambda req: servers[0]
+    else:
+        # Balanced placement: spread proportional to power (what ANU
+        # converges to).
+        order = []
+        for sid, power in POWERS.items():
+            order.extend([sid] * int(power))
+        route = lambda req: servers[order[hash(req.fileset) % len(order)]]
+
+    client = AccessClient(env, route=route, disks=disks)
+
+    def driver(env):
+        for i in range(N_ACCESSES):
+            client.access(f"/data/{i % 20}", META_WORK, DATA_SIZE)
+            yield env.timeout(0.25)
+
+    env.process(driver(env))
+    env.run(until=WINDOW)
+    return {
+        "mode": route_mode,
+        "accesses_done": client.access_latency.count,
+        "mean_access_latency": client.access_latency.mean,
+        "p95_access_latency": client.access_latency.percentile(95),
+        "metadata_share": client.metadata_share.mean,
+        "san_utilization": sum(disks.utilization()) / len(disks.disks),
+    }
+
+
+def main() -> None:
+    rows = [run("imbalanced"), run("balanced")]
+    print(f"{'tier':>11}  {'done':>5}  {'mean(s)':>8}  {'p95(s)':>8}  "
+          f"{'meta share':>10}  {'SAN util':>8}")
+    for r in rows:
+        print(f"{r['mode']:>11}  {r['accesses_done']:>5}  "
+              f"{r['mean_access_latency']:>8.2f}  {r['p95_access_latency']:>8.2f}  "
+              f"{r['metadata_share']:>10.1%}  {r['san_utilization']:>8.1%}")
+    imb, bal = rows
+    print(f"\nwith the metadata tier imbalanced, {imb['metadata_share']:.0%} of "
+          f"every access is spent waiting for metadata and the SAN sits at "
+          f"{imb['san_utilization']:.1%}; balancing the metadata tier lifts "
+          f"SAN utilization {bal['san_utilization'] / max(imb['san_utilization'], 1e-9):.1f}x "
+          f"— the paper's §3 motivation, reproduced.")
+
+
+if __name__ == "__main__":
+    main()

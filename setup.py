@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so the package
+can be installed editable on environments without the ``wheel``
+package (offline/legacy ``pip install -e .`` falls back to
+``setup.py develop``, which needs this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — reproduction of Wu & Burns, HPDC 2004.
+
+"Achieving Performance Consistency in Heterogeneous Clusters":
+ANU (adaptive, non-uniform) randomization for load management in
+heterogeneous shared-disk clusters, evaluated against simple
+randomization, a dynamic prescient optimum, and virtual processors on
+a discrete-event cluster simulator.
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (the YACSIM substitute).
+``repro.core``
+    ANU randomization: hashing, interval geometry, tuning, delegate.
+``repro.cluster``
+    Shared-disk cluster model: file sets, heterogeneous servers, caches.
+``repro.distributed``
+    Control plane: messages, delegate election, heartbeats.
+``repro.policies``
+    Load managers: ANU + the paper's three baselines (+ a table-based
+    reference for shared-state accounting).
+``repro.workloads``
+    Synthetic (Pareto) and trace-shaped workload generators.
+``repro.metrics`` / ``repro.analysis``
+    Measurement collection and statistical/bound analysis.
+``repro.experiments``
+    The figure-by-figure reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, cluster, core, distributed, experiments, metrics, policies, sim, workloads
+
+__all__ = [
+    "analysis",
+    "cluster",
+    "core",
+    "distributed",
+    "experiments",
+    "metrics",
+    "policies",
+    "sim",
+    "workloads",
+    "__version__",
+]

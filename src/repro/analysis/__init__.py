@@ -1,0 +1,41 @@
+"""Statistical and theoretical analysis utilities.
+
+* :mod:`repro.analysis.bounds` — the §4 load-balance bounds and the
+  balls-into-bins Monte Carlo that checks them (bench A6)
+* :mod:`repro.analysis.stats` — bootstrap CIs, Hill tail-index
+  estimation for the heavy-tail verification
+"""
+
+from .convergence import (
+    ControllerTrace,
+    equilibrium_lengths,
+    iterate_controller,
+)
+from .bounds import (
+    BalanceSample,
+    anu_balance_bound,
+    measure_balance,
+    simple_randomization_bound,
+)
+from .stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    is_heavy_tailed,
+    mean_sem,
+    pareto_tail_index,
+)
+
+__all__ = [
+    "anu_balance_bound",
+    "equilibrium_lengths",
+    "iterate_controller",
+    "ControllerTrace",
+    "simple_randomization_bound",
+    "measure_balance",
+    "BalanceSample",
+    "ConfidenceInterval",
+    "bootstrap_mean_ci",
+    "mean_sem",
+    "pareto_tail_index",
+    "is_heavy_tailed",
+]

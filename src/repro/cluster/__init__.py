@@ -1,0 +1,46 @@
+"""Shared-disk cluster model.
+
+The simulated system of §3 of the paper: a global namespace partitioned
+into file sets, heterogeneous metadata file servers with FIFO queues,
+server caches whose warmth is what makes moving file sets costly, and a
+striped shared-disk data path behind a SAN.
+
+* :class:`FileSet` / :class:`FileSetCatalog` — workload units
+* :class:`MetadataRequest` — the short tasks servers serve
+* :class:`FileServer` — heterogeneous FIFO metadata server
+* :class:`CacheModel` / :class:`CacheConfig` — cost of moving file sets
+* :class:`RequestDriver` / :class:`AccessClient` — workload replay
+* :class:`SharedDisk` / :class:`DiskArray` — the data path
+* :class:`ClusterSimulation` / :class:`ClusterConfig` /
+  :class:`ClusterResult` — the experiment driver
+"""
+
+from .cache import CacheConfig, CacheModel
+from .client import AccessClient, RequestDriver
+from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, MovementRecord
+from .disk import DiskArray, SharedDisk
+from .distributed_cluster import DistributedClusterSimulation
+from .fileset import FileSet, FileSetCatalog
+from .namespace import Namespace, normalize_path
+from .request import MetadataRequest
+from .server import FileServer
+
+__all__ = [
+    "FileSet",
+    "FileSetCatalog",
+    "MetadataRequest",
+    "FileServer",
+    "CacheModel",
+    "CacheConfig",
+    "RequestDriver",
+    "AccessClient",
+    "SharedDisk",
+    "DiskArray",
+    "ClusterSimulation",
+    "ClusterConfig",
+    "ClusterResult",
+    "MovementRecord",
+    "DistributedClusterSimulation",
+    "Namespace",
+    "normalize_path",
+]

@@ -1,0 +1,118 @@
+"""Clients: request replay and the full metadata-then-data access path.
+
+:class:`RequestDriver` replays a pre-generated request schedule into
+the cluster, routing each request through the active placement policy
+at its arrival instant (so placement changes take effect for new
+arrivals immediately, while already-queued requests finish where they
+are — matching the paper's shed semantics).
+
+:class:`AccessClient` models the complete shared-disk access of §3:
+metadata request to a file server, then a data transfer from the
+shared disks. It is used by the quickstart example and the SAN
+under-utilization demonstration, not by the paper's figure runs (which
+measure the metadata tier only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..sim import Simulator, Tally
+from .disk import DiskArray
+from .request import MetadataRequest
+from .server import FileServer
+
+__all__ = ["RequestDriver", "AccessClient"]
+
+
+class RequestDriver:
+    """Replays a time-ordered request schedule into the cluster.
+
+    Parameters
+    ----------
+    env:
+        The simulator.
+    schedule:
+        Requests sorted by arrival time.
+    route:
+        ``route(request) -> FileServer`` — resolves the file set's
+        current server *at arrival time* and returns the server object.
+        Returning ``None`` drops the request (counted).
+    """
+
+    def __init__(
+        self,
+        env: Simulator,
+        schedule: Sequence[MetadataRequest],
+        route: Callable[[MetadataRequest], Optional[FileServer]],
+    ) -> None:
+        self.env = env
+        self.schedule = list(schedule)
+        if any(
+            b.arrival < a.arrival for a, b in zip(self.schedule, self.schedule[1:])
+        ):
+            raise ValueError("request schedule must be sorted by arrival time")
+        self.route = route
+        #: Requests submitted so far.
+        self.submitted = 0
+        #: Requests dropped because routing returned ``None``.
+        self.dropped = 0
+        self.process = env.process(self._replay())
+
+    def _replay(self):
+        for request in self.schedule:
+            delay = request.arrival - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            server = self.route(request)
+            if server is None:
+                self.dropped += 1
+                continue
+            server.submit(request)
+            self.submitted += 1
+
+
+class AccessClient:
+    """A client performing complete accesses: metadata, then data.
+
+    Each access: submit a metadata request to the routed file server,
+    wait for its completion, then read ``data_size`` units from the
+    disk array across the SAN. End-to-end access latencies land in
+    :attr:`access_latency`; the share of each access spent blocked on
+    metadata lands in :attr:`metadata_share` — the quantity behind the
+    paper's motivation that "clients blocked on metadata may leave the
+    high bandwidth SAN underutilized" (§3).
+    """
+
+    def __init__(
+        self,
+        env: Simulator,
+        route: Callable[[MetadataRequest], Optional[FileServer]],
+        disks: DiskArray,
+    ) -> None:
+        self.env = env
+        self.route = route
+        self.disks = disks
+        self.access_latency = Tally(keep=True)
+        self.metadata_share = Tally()
+
+    def access(self, fileset: str, meta_work: float, data_size: float):
+        """Start one access; returns the driving process (awaitable)."""
+        return self.env.process(self._access(fileset, meta_work, data_size))
+
+    def _access(self, fileset: str, meta_work: float, data_size: float):
+        start = self.env.now
+        request = MetadataRequest(fileset=fileset, arrival=start, work=meta_work)
+        server = self.route(request)
+        if server is None:
+            raise RuntimeError(f"no server for file set {fileset!r}")
+        done = self.env.event()
+        request.on_complete = lambda req: done.succeed(req)
+        server.submit(request)
+        yield done
+        meta_done = self.env.now
+        yield self.disks.read(data_size)
+        total = self.env.now - start
+        self.access_latency.observe(total)
+        if total > 0:
+            self.metadata_share.observe((meta_done - start) / total)

@@ -1,0 +1,102 @@
+"""Shared disks and the SAN data path.
+
+"The shared disks hold file sets ... the client fetches data directly
+from the disk across the storage area network (SAN). This architecture
+separates metadata workload from data workload." (§3)
+
+The paper explicitly scopes load management to the *file servers* —
+"our system does not address load management issues in shared disks"
+— so the data path here is a deliberately simple striped-disk model.
+It exists for architectural completeness (the quickstart example walks
+a full metadata-then-data access) and to let experiments confirm the
+paper's motivation: clients blocked on metadata leave the SAN
+under-utilized, so balancing the metadata tier lifts whole-cluster
+throughput.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim import Simulator, Store, Tally
+
+__all__ = ["SharedDisk", "DiskArray"]
+
+
+class SharedDisk:
+    """One disk on the SAN: FIFO service at a fixed bandwidth."""
+
+    def __init__(self, env: Simulator, disk_id: object, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.env = env
+        self.disk_id = disk_id
+        #: Transfer rate in data units per second.
+        self.bandwidth = float(bandwidth)
+        self._queue: Store = Store(env)
+        #: Completed-transfer latencies.
+        self.transfers = Tally()
+        self.busy_time = 0.0
+        env.process(self._service_loop())
+
+    def read(self, size: float):
+        """Event that fires when ``size`` data units have been read.
+
+        Usage inside a process: ``yield disk.read(size)``.
+        """
+        done = self.env.event()
+        self._queue.put((self.env.now, float(size), done))
+        return done
+
+    def _service_loop(self):
+        while True:
+            enqueued, size, done = yield self._queue.get()
+            start = self.env.now
+            yield self.env.timeout(size / self.bandwidth)
+            self.busy_time += self.env.now - start
+            self.transfers.observe(self.env.now - enqueued)
+            done.succeed(size)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time spent transferring."""
+        return self.busy_time / self.env.now if self.env.now > 0 else 0.0
+
+
+class DiskArray:
+    """A stripe set of shared disks.
+
+    Large reads are striped round-robin across member disks in
+    ``stripe_unit``-sized chunks — the classic I/O-system load-balancing
+    the related work contrasts with (§2: "I/O systems use striping to
+    distribute a large I/O request across many disks").
+    """
+
+    def __init__(
+        self, env: Simulator, bandwidths: Sequence[float], stripe_unit: float = 64.0
+    ) -> None:
+        if not bandwidths:
+            raise ValueError("array needs at least one disk")
+        if stripe_unit <= 0:
+            raise ValueError(f"stripe_unit must be > 0, got {stripe_unit}")
+        self.env = env
+        self.stripe_unit = float(stripe_unit)
+        self.disks: List[SharedDisk] = [
+            SharedDisk(env, i, bw) for i, bw in enumerate(bandwidths)
+        ]
+        self._next = 0
+
+    def read(self, size: float):
+        """Event firing when all stripes of a ``size``-unit read finish."""
+        chunks = []
+        remaining = float(size)
+        while remaining > 0:
+            chunk = min(self.stripe_unit, remaining)
+            disk = self.disks[self._next % len(self.disks)]
+            self._next += 1
+            chunks.append(disk.read(chunk))
+            remaining -= chunk
+        return self.env.all_of(chunks)
+
+    def utilization(self) -> List[float]:
+        """Per-disk utilizations."""
+        return [d.utilization() for d in self.disks]

@@ -1,0 +1,97 @@
+"""File sets — the indivisible unit of workload assignment.
+
+"A shared-disk file system cluster usually uses a single global
+namespace, which is partitioned into file sets. A file set is a subtree
+of the global namespace and also the indivisible unit of workload
+assignment and movement." (§3)
+
+A :class:`FileSet` carries its unique name (the hashing key — "specific
+to clusters, such as a pathname or content fingerprint") and its total
+offered workload, the paper's ``X * c`` with ``X ~ U[1, 10]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["FileSet", "FileSetCatalog"]
+
+
+@dataclass(frozen=True)
+class FileSet:
+    """A subtree of the global namespace.
+
+    Attributes
+    ----------
+    name:
+        Unique name; the key hashed by every placement policy.
+    total_work:
+        Total service demand (work units) this file set generates over
+        the whole experiment — the paper's ``X * c``.
+    n_requests:
+        Number of metadata requests the file set issues.
+    """
+
+    name: str
+    total_work: float
+    n_requests: int
+
+    @property
+    def mean_request_work(self) -> float:
+        """Average work units per request (``total_work / n_requests``)."""
+        return self.total_work / self.n_requests if self.n_requests else 0.0
+
+
+class FileSetCatalog:
+    """The namespace's file-set inventory with weight lookups.
+
+    The catalog is what prescient policies consult for "perfect
+    knowledge of workload properties": per-file-set total work, and the
+    share of overall workload each file set represents (used for the
+    percentage-of-workload-moved metric of Figure 7).
+    """
+
+    def __init__(self, filesets: List[FileSet]) -> None:
+        if not filesets:
+            raise ValueError("catalog needs at least one file set")
+        names = [fs.name for fs in filesets]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate file-set names in catalog")
+        self._by_name: Dict[str, FileSet] = {fs.name: fs for fs in filesets}
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> List[str]:
+        """All file-set names (insertion order)."""
+        return list(self._by_name)
+
+    def get(self, name: str) -> FileSet:
+        """File set by name; raises ``KeyError`` for unknown names."""
+        return self._by_name[name]
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all file sets' total work."""
+        return sum(fs.total_work for fs in self._by_name.values())
+
+    @property
+    def total_requests(self) -> int:
+        """Sum of all file sets' request counts."""
+        return sum(fs.n_requests for fs in self._by_name.values())
+
+    def work_share(self, name: str) -> float:
+        """Fraction of total workload contributed by ``name``."""
+        return self.get(name).total_work / self.total_work
+
+    def weights(self) -> Dict[str, float]:
+        """Name → total work for every file set."""
+        return {name: fs.total_work for name, fs in self._by_name.items()}

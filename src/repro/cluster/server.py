@@ -1,0 +1,241 @@
+"""Heterogeneous file servers with FIFO queueing.
+
+Each :class:`FileServer` models one metadata server: a single service
+station draining a FIFO queue (the paper's "servers use a first-in-
+first-out queuing discipline", §5.1) at a rate set by its *processing
+power* — "if the least powerful server consumes time T to complete a
+metadata request, then the most powerful server consumes time T/9"
+(§5.1). The evaluation cluster uses powers {1, 3, 5, 7, 9}.
+
+Servers measure themselves: per-interval mean latency of completed
+requests (what they report to the delegate) and whole-run tallies for
+the aggregate figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.tuning import LatencyReport
+from ..sim import Interrupt, Simulator, Store, Tally, TimeSeries
+from .cache import CacheModel
+from .request import MetadataRequest
+
+__all__ = ["FileServer"]
+
+
+class FileServer:
+    """One metadata server in the shared-disk cluster.
+
+    Parameters
+    ----------
+    env:
+        The discrete-event simulator.
+    server_id:
+        Cluster-unique identifier.
+    power:
+        Service rate in work units per second (> 0).
+    cache:
+        Shared :class:`CacheModel`; ``None`` disables cache effects.
+
+    Notes
+    -----
+    The server is driven by a single service-loop process created at
+    construction. :meth:`submit` is the only entry point for work;
+    :meth:`interval_report` closes a measurement window (the report the
+    server sends the delegate each tuning interval).
+    """
+
+    def __init__(
+        self,
+        env: Simulator,
+        server_id: object,
+        power: float,
+        cache: Optional[CacheModel] = None,
+    ) -> None:
+        if power <= 0:
+            raise ValueError(f"server power must be > 0, got {power}")
+        self.env = env
+        self.server_id = server_id
+        self.power = float(power)
+        self.cache = cache
+        self._queue: Store = Store(env)
+        self._failed = False
+        # Whole-run statistics.
+        self.completed = Tally(keep=True)
+        #: Per-interval mean latency samples (one per tuning round).
+        self.latency_series = TimeSeries(name=f"server-{server_id}")
+        #: Requests completed, whole run.
+        self.completed_requests: int = 0
+        #: Busy time accumulated (for utilization).
+        self.busy_time: float = 0.0
+        # Current-interval accumulators.
+        self._window_latency_sum = 0.0
+        self._window_count = 0
+        self._window_start = env.now
+        # Per-file-set work observed this window (a server-local
+        # observation; consumed by bin-packing-style policies).
+        self._window_fs_work: dict = {}
+        # Consecutive idle reporting windows (for delegate idle backoff).
+        self._idle_rounds = 0
+        # Previous window's mean latency (for the delegate's burst filter).
+        self._prev_mean = math.nan
+        self._flush_backlog: List[float] = []
+        self._loop = env.process(self._service_loop())
+
+    # ------------------------------------------------------------------ #
+    # workload entry points
+    # ------------------------------------------------------------------ #
+    def submit(self, request: MetadataRequest) -> None:
+        """Enqueue a metadata request (FIFO)."""
+        if self._failed:
+            raise RuntimeError(f"server {self.server_id!r} is failed")
+        request.server = self.server_id
+        self._queue.put(request)
+
+    def charge_flush(self, work: float) -> None:
+        """Charge cache-flush busy work (a shed's cost to the releaser).
+
+        Modeled as a pseudo-job at the *head-of-line position the loop
+        reaches next*: the flush occupies the server before subsequent
+        queued requests, which is how a synchronous cache write-back
+        behaves.
+        """
+        if work > 0:
+            self._flush_backlog.append(work)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting (excludes the one in service)."""
+        return len(self._queue)
+
+    @property
+    def failed(self) -> bool:
+        """``True`` while the server is down."""
+        return self._failed
+
+    # ------------------------------------------------------------------ #
+    # the service loop
+    # ------------------------------------------------------------------ #
+    def _service_loop(self):
+        try:
+            yield from self._serve_forever()
+        except Interrupt:
+            return  # failed: drop out cleanly; recover() starts a new loop
+
+    def _serve_forever(self):
+        while True:
+            request = yield self._queue.get()
+            # Synchronous flush work blocks the queue first.
+            while self._flush_backlog:
+                flush = self._flush_backlog.pop(0)
+                start = self.env.now
+                yield self.env.timeout(flush / self.power)
+                self.busy_time += self.env.now - start
+            request.service_start = self.env.now
+            work = request.work
+            if self.cache is not None:
+                work *= self.cache.work_multiplier(
+                    self.server_id, request.fileset, self.env.now
+                )
+            start = self.env.now
+            yield self.env.timeout(work / self.power)
+            self.busy_time += self.env.now - start
+            request.completion = self.env.now
+            self._record(request)
+
+    def _record(self, request: MetadataRequest) -> None:
+        latency = request.latency
+        self.completed.observe(latency)
+        self.completed_requests += 1
+        self._window_latency_sum += latency
+        self._window_count += 1
+        self._window_fs_work[request.fileset] = (
+            self._window_fs_work.get(request.fileset, 0.0) + request.work
+        )
+        if request.on_complete is not None:
+            request.on_complete(request)
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+    def interval_report(self) -> LatencyReport:
+        """Close the current measurement window and report it.
+
+        Returns the :class:`LatencyReport` the server sends the
+        delegate: mean latency over requests *completed* in the window
+        (``nan`` if none — an idle server has nothing to report).
+        """
+        now = self.env.now
+        if self._window_count:
+            mean = self._window_latency_sum / self._window_count
+            self._idle_rounds = 0
+        else:
+            mean = math.nan
+            self._idle_rounds += 1
+        report = LatencyReport(
+            server_id=self.server_id,
+            mean_latency=mean,
+            request_count=self._window_count,
+            window=(self._window_start, now),
+            idle_rounds=self._idle_rounds,
+            prev_mean_latency=self._prev_mean,
+        )
+        self._prev_mean = mean
+        self.latency_series.record(now, mean)
+        self._window_latency_sum = 0.0
+        self._window_count = 0
+        self._window_start = now
+        return report
+
+    def drain_fileset_work(self) -> dict:
+        """Per-file-set work served this window; resets the accumulator.
+
+        This is information a real server observes locally (it served
+        the requests); policies in the bin-packing family consume it.
+        Call alongside :meth:`interval_report`.
+        """
+        out = self._window_fs_work
+        self._window_fs_work = {}
+        return out
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time busy since t=0 (up to ``horizon`` or now)."""
+        t = horizon if horizon is not None else self.env.now
+        return self.busy_time / t if t > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    # failure / recovery
+    # ------------------------------------------------------------------ #
+    def fail(self) -> List[MetadataRequest]:
+        """Take the server down; returns the queued requests it drops.
+
+        The in-service request (if any) is lost with it. The cluster
+        driver re-routes the returned requests through the updated
+        placement, modeling clients re-issuing to the new owner.
+        """
+        if self._failed:
+            raise RuntimeError(f"server {self.server_id!r} already failed")
+        self._failed = True
+        self._loop.interrupt("failed")
+        orphans = list(self._queue.drain())
+        # Replace the queue outright: the dying loop may still hold a
+        # pending get() on the old store, which would otherwise swallow
+        # the first request submitted after recovery.
+        self._queue = Store(self.env)
+        return orphans
+
+    def recover(self) -> None:
+        """Bring the server back with an empty queue and cold state."""
+        if not self._failed:
+            raise RuntimeError(f"server {self.server_id!r} is not failed")
+        self._failed = False
+        self._window_latency_sum = 0.0
+        self._window_count = 0
+        self._window_start = self.env.now
+        self._loop = self.env.process(self._service_loop())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        state = "FAILED" if self._failed else f"q={self.queue_length}"
+        return f"<FileServer {self.server_id!r} power={self.power} {state}>"

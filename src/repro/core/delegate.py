@@ -1,0 +1,73 @@
+"""The stateless delegate decision procedure.
+
+"At the end of each interval, each server computes its latency in the
+past interval and reports it to an elected delegate server. ... The
+delegate is designed to be stateless and determines the new load
+configuration based solely on reported latencies. If the delegate
+fails, the next elected delegate runs the same protocol with the same
+information." (§4)
+
+:class:`Delegate` is that pure decision procedure: given the replicated
+layout (lengths) and the round's reports, produce the new target
+lengths. Statelessness is load-bearing for fault tolerance — the test
+suite asserts that two delegate instances given identical inputs emit
+identical decisions, which is what makes delegate fail-over free.
+
+The message-passing and election machinery that *hosts* a delegate
+lives in :mod:`repro.distributed`; this module is deliberately free of
+any simulator dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from .layout import LayoutEngine
+from .tuning import LatencyReport, TuningPolicy
+
+__all__ = ["Decision", "Delegate"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The delegate's output for one tuning round.
+
+    ``targets`` are *normalized* lengths (summing to 1/2) — exactly the
+    new mapping of servers to the unit interval that the delegate
+    distributes to all servers, "the only replicated state needed by
+    our algorithm" (§4).
+    """
+
+    average_latency: float
+    targets: Dict[object, float]
+
+
+class Delegate:
+    """Stateless tuning decision procedure.
+
+    Any server can instantiate one with the (agreed, replicated) policy
+    and produce the round's decision from the reports alone.
+    """
+
+    def __init__(self, policy: Optional[TuningPolicy] = None) -> None:
+        self.policy = policy or TuningPolicy()
+        self._engine = LayoutEngine(floor_length=self.policy.floor_length)
+
+    def decide(
+        self,
+        current_lengths: Mapping[object, float],
+        reports: Sequence[LatencyReport],
+    ) -> Decision:
+        """Compute the new normalized target lengths for this round.
+
+        Deterministic in its inputs: no internal state is read or
+        written, so a freshly elected delegate reaches the identical
+        decision from the same reports.
+        """
+        raw = self.policy.compute_targets(current_lengths, reports)
+        targets = self._engine.floor_and_normalize(raw)
+        return Decision(
+            average_latency=self.policy.system_average(reports),
+            targets=targets,
+        )

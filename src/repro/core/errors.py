@@ -1,0 +1,44 @@
+"""Exception types for the ANU randomization core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ANUError",
+    "InvariantViolation",
+    "UnknownServerError",
+    "LookupExhaustedError",
+    "ConfigurationError",
+]
+
+
+class ANUError(Exception):
+    """Base class for ANU core errors."""
+
+
+class InvariantViolation(ANUError):
+    """A structural invariant was broken.
+
+    The interval layer checks the half-occupancy invariant, the
+    one-partial-partition-per-server invariant, and region disjointness
+    after every mutation; any breach raises this. These checks are cheap
+    (O(k)) and are kept on in production because a silently broken
+    invariant corrupts placement for every subsequent lookup.
+    """
+
+
+class UnknownServerError(ANUError):
+    """An operation referenced a server id not present in the layout."""
+
+
+class LookupExhaustedError(ANUError):
+    """All hash probes fell into unmapped regions.
+
+    With half occupancy each probe misses with probability 1/2, so with
+    the default 64-round probe budget this happens with probability
+    2^-64 — reaching this exception in practice indicates a corrupted
+    layout (e.g. total mapped measure far below 1/2).
+    """
+
+
+class ConfigurationError(ANUError):
+    """Invalid parameter passed to a core component."""

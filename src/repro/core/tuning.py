@@ -1,0 +1,412 @@
+"""The adaptive tuning controller: latencies in, target lengths out.
+
+Each tuning interval (two minutes in the paper), every server reports
+the latency it delivered over the interval. The delegate "examines all
+latencies and comes up with an 'average' value for the whole system
+[and] scales down the mapped regions for servers above the average and
+scales up the mapped regions for servers below the average" (§4).
+
+The paper leaves the averaging rule and the scaling magnitudes to its
+companion report [40]. We implement the stated contract exactly —
+monotone scaling around a system average — and expose the unspecified
+knobs:
+
+* ``averaging``: arithmetic mean, request-weighted mean, or trimmed
+  mean over the reporting servers;
+* ``gain``: exponent of the multiplicative update
+  ``factor_i = (avg / latency_i) ** gain``;
+* ``max_step``: per-round clamp on the factor, which damps oscillation
+  (the paper's "relatively conservative in moving load in response to
+  short-term bursts");
+* ``idle_policy``: what to do with servers that served nothing —
+  ``"hold"`` keeps their region (the paper lets extremely weak servers
+  sit idle), ``"grow"`` probes them back in with a small seed.
+
+The averaging-rule ablation bench (A1 in DESIGN.md) shows the headline
+results are insensitive to these choices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from .errors import ConfigurationError
+from .interval import HALF
+
+#: Below this measure, a shed/grow mismatch is treated as closed.
+EPS_DELTA = 1e-12
+
+__all__ = [
+    "LatencyReport",
+    "arithmetic_mean",
+    "weighted_mean",
+    "trimmed_mean",
+    "AVERAGING_RULES",
+    "TuningPolicy",
+    "IncompetenceDetector",
+]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """One server's performance report for a tuning interval.
+
+    Attributes
+    ----------
+    server_id:
+        Reporting server.
+    mean_latency:
+        Mean request latency (seconds) over the interval; ``nan`` when
+        no requests completed.
+    request_count:
+        Number of requests completed in the interval.
+    window:
+        ``(start, end)`` of the interval in simulated time; purely
+        diagnostic.
+    """
+
+    server_id: object
+    mean_latency: float
+    request_count: int = 0
+    window: tuple = (0.0, 0.0)
+    #: Consecutive idle intervals *including this one* (0 when active).
+    #: Tracked by the reporting server, so the delegate can apply idle
+    #: backoff while remaining stateless itself.
+    idle_rounds: int = 0
+    #: Mean latency of the server's *previous* interval (``nan`` when
+    #: unknown). Lets the delegate require persistence before shrinking
+    #: a server — a single bursty window must not trigger shedding —
+    #: while itself remaining stateless.
+    prev_mean_latency: float = float("nan")
+
+    @property
+    def is_idle(self) -> bool:
+        """``True`` when the server completed no requests."""
+        return self.request_count == 0 or math.isnan(self.mean_latency)
+
+
+# --------------------------------------------------------------------- #
+# averaging rules
+# --------------------------------------------------------------------- #
+def arithmetic_mean(reports: Sequence[LatencyReport]) -> float:
+    """Plain mean of reported latencies (every server counts equally)."""
+    vals = [r.mean_latency for r in reports]
+    return sum(vals) / len(vals)
+
+
+def weighted_mean(reports: Sequence[LatencyReport]) -> float:
+    """Request-weighted mean — the latency an average *request* saw.
+
+    This is the default: it matches the paper's application-facing
+    framing (consistent performance for the *workload*) and makes a
+    nearly idle server unable to drag the system average around.
+    """
+    total_req = sum(r.request_count for r in reports)
+    if total_req == 0:
+        return arithmetic_mean(reports)
+    return sum(r.mean_latency * r.request_count for r in reports) / total_req
+
+
+def trimmed_mean(reports: Sequence[LatencyReport], trim: float = 0.25) -> float:
+    """Mean after dropping the ``trim`` fraction at each extreme.
+
+    Robust to a single pathological server; degenerates to the plain
+    mean when fewer than ``1 / trim`` servers report.
+    """
+    vals = sorted(r.mean_latency for r in reports)
+    k = int(len(vals) * trim)
+    core = vals[k : len(vals) - k] or vals
+    return sum(core) / len(core)
+
+
+#: Registry used by configuration files and the ablation bench.
+AVERAGING_RULES: Dict[str, Callable[[Sequence[LatencyReport]], float]] = {
+    "arithmetic": arithmetic_mean,
+    "weighted": weighted_mean,
+    "trimmed": trimmed_mean,
+}
+
+
+# --------------------------------------------------------------------- #
+# the controller
+# --------------------------------------------------------------------- #
+@dataclass
+class TuningPolicy:
+    """Configuration of the region-scaling feedback controller.
+
+    See the module docstring for the meaning of each knob. The defaults
+    reproduce the paper's qualitative behaviour: convergence within a
+    few rounds, conservative movement afterwards.
+    """
+
+    averaging: str = "weighted"
+    gain: float = 0.3
+    max_step: float = 1.5
+    grow_step: float = 1.2
+    deadband: float = 0.4
+    idle_policy: str = "grow"
+    idle_seed: float = 0.03
+    idle_backoff: int = 5
+    floor_length: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.averaging not in AVERAGING_RULES:
+            raise ConfigurationError(
+                f"unknown averaging rule {self.averaging!r}; "
+                f"options: {sorted(AVERAGING_RULES)}"
+            )
+        if self.gain <= 0:
+            raise ConfigurationError(f"gain must be > 0, got {self.gain}")
+        if self.max_step <= 1.0:
+            raise ConfigurationError(f"max_step must be > 1, got {self.max_step}")
+        if not 1.0 < self.grow_step <= self.max_step:
+            raise ConfigurationError(
+                f"grow_step must be in (1, max_step], got {self.grow_step}"
+            )
+        if self.idle_policy not in ("hold", "grow"):
+            raise ConfigurationError(
+                f"idle_policy must be 'hold' or 'grow', got {self.idle_policy!r}"
+            )
+        if not 0.0 <= self.idle_seed <= HALF:
+            raise ConfigurationError(f"idle_seed {self.idle_seed} outside [0, 1/2]")
+        if self.idle_backoff < 1:
+            raise ConfigurationError(
+                f"idle_backoff must be >= 1, got {self.idle_backoff}"
+            )
+        if self.deadband < 0:
+            raise ConfigurationError(f"deadband must be >= 0, got {self.deadband}")
+
+    # ------------------------------------------------------------------ #
+    def system_average(self, reports: Sequence[LatencyReport]) -> float:
+        """The delegate's "average" latency over the *active* reporters."""
+        active = [r for r in reports if not r.is_idle]
+        if not active:
+            return math.nan
+        return AVERAGING_RULES[self.averaging](active)
+
+    def compute_targets(
+        self,
+        current_lengths: Mapping[object, float],
+        reports: Sequence[LatencyReport],
+    ) -> Dict[object, float]:
+        """New target lengths from current lengths and interval reports.
+
+        The result is *not yet normalized*; the layout engine normalizes
+        to the half-occupancy sum when applying. Servers above the
+        average get factors < 1, below-average servers factors > 1, each
+        clamped to ``[1/max_step, max_step]``.
+        """
+        by_id = {r.server_id: r for r in reports}
+        unknown = set(by_id) - set(current_lengths)
+        if unknown:
+            raise ConfigurationError(
+                f"reports from servers not in the layout: {sorted(map(repr, unknown))}"
+            )
+        avg = self.system_average(reports)
+        # Pass 1: per-server desired deltas. Servers inside the deadband
+        # get delta 0 — this is the "relatively conservative in moving
+        # load in response to short-term bursts" stance of §5.3: noise
+        # around the average must not cause movement.
+        deltas: Dict[object, float] = {}
+        ratios: Dict[object, float] = {}  # latency / avg for active servers
+        blocked: set = set()  # above band but not persistently: do not touch
+        for sid, length in current_lengths.items():
+            report = by_id.get(sid)
+            if report is None or report.is_idle or math.isnan(avg) or avg <= 0:
+                idle_rounds = report.idle_rounds if report is not None else 1
+                deltas[sid] = self._idle_target(length, idle_rounds) - length
+                continue
+            latency = max(report.mean_latency, 1e-12)
+            ratio = latency / avg
+            ratios[sid] = ratio
+            if abs(ratio - 1.0) <= self.deadband:
+                deltas[sid] = 0.0
+                continue
+            if ratio > 1.0 and not self._persistently_slow(report, avg):
+                # One bursty window is not a reason to shed: a heavy-
+                # tailed arrival process produces isolated latency
+                # spikes that resolve by themselves; shedding on them
+                # turns the hot file set into a hot potato that
+                # destabilizes server after server.
+                deltas[sid] = 0.0
+                blocked.add(sid)
+                continue
+            factor = (avg / latency) ** self.gain
+            # Asymmetric clamp: shed up to max_step fast (an overloaded
+            # server must get relief), but grow by at most grow_step —
+            # growth overshoot drives the fastest server toward
+            # saturation, where the next burst creates a storm.
+            factor = min(max(factor, 1.0 / self.max_step), self.grow_step)
+            deltas[sid] = length * (factor - 1.0)
+        # Pass 2: make the update zero-sum. Shed measure must equal grown
+        # measure so that servers inside the deadband keep *bit-identical*
+        # regions — a global renormalization would ripple every boundary
+        # every round and move file sets between perfectly healthy
+        # servers (each arriving cache-cold), which destabilizes the
+        # cluster under bursty arrivals.
+        self._match_deltas(deltas, ratios, current_lengths, blocked)
+        return {sid: current_lengths[sid] + deltas[sid] for sid in current_lengths}
+
+    def _persistently_slow(self, report: LatencyReport, avg: float) -> bool:
+        """Above-band latency in this *and* the previous window?
+
+        A server with no previous-window information (first round, or
+        just recovered) is treated as persistent — early convergence
+        must not be delayed by the burst filter.
+        """
+        prev = report.prev_mean_latency
+        if math.isnan(prev):
+            return True
+        return prev / avg > 1.0 + self.deadband
+
+    def _match_deltas(
+        self,
+        deltas: Dict[object, float],
+        ratios: Dict[object, float],
+        lengths: Mapping[object, float],
+        blocked: Optional[set] = None,
+    ) -> None:
+        """Balance shed against growth in place (zero-sum update).
+
+        When shed exceeds growth demand, in-band servers *below* the
+        average are drafted as recipients (weighted by how far below
+        they sit); symmetrically, in-band servers above the average
+        donate when growth exceeds shed. If drafting cannot close the
+        gap, the larger side is scaled down — moving less is always
+        safe, and an unmatched shrink would strand capacity.
+        """
+        blocked = blocked or set()
+        shed = -sum(d for d in deltas.values() if d < 0)
+        grow = sum(d for d in deltas.values() if d > 0)
+        gap = shed - grow
+        if abs(gap) > EPS_DELTA:
+            if gap > 0:
+                # Draft in-band, below-average servers to absorb measure.
+                weights = {
+                    sid: lengths[sid] * (1.0 - r)
+                    for sid, r in ratios.items()
+                    if deltas.get(sid, 0.0) == 0.0 and r < 1.0 and lengths[sid] > 0
+                }
+                absorbed = self._distribute(deltas, weights, gap, cap_sign=+1, lengths=lengths)
+                remaining = gap - absorbed
+                if remaining > EPS_DELTA and shed > 0:
+                    scale = (shed - remaining) / shed
+                    for sid, d in deltas.items():
+                        if d < 0:
+                            deltas[sid] = d * scale
+            else:
+                # Draft in-band, above-average servers to donate measure
+                # (burst-blocked servers are exempt: donation is the
+                # shedding the filter just vetoed).
+                weights = {
+                    sid: lengths[sid] * (r - 1.0)
+                    for sid, r in ratios.items()
+                    if deltas.get(sid, 0.0) == 0.0
+                    and r > 1.0
+                    and lengths[sid] > 0
+                    and sid not in blocked
+                }
+                if not weights:
+                    # Nobody is above average (a calm cluster): fund the
+                    # growth — typically an idle-server probe — with a
+                    # small proportional haircut across all active
+                    # in-band servers. Without this fallback a parked
+                    # server could never be probed back in.
+                    weights = {
+                        sid: lengths[sid]
+                        for sid, r in ratios.items()
+                        if deltas.get(sid, 0.0) == 0.0
+                        and lengths[sid] > 0
+                        and sid not in blocked
+                    }
+                donated = self._distribute(deltas, weights, -gap, cap_sign=-1, lengths=lengths)
+                remaining = -gap - donated
+                if remaining > EPS_DELTA and grow > 0:
+                    scale = (grow - remaining) / grow
+                    for sid, d in deltas.items():
+                        if d > 0:
+                            deltas[sid] = d * scale
+
+    def _distribute(
+        self,
+        deltas: Dict[object, float],
+        weights: Dict[object, float],
+        amount: float,
+        cap_sign: int,
+        lengths: Mapping[object, float],
+    ) -> float:
+        """Spread ``amount`` across ``weights`` keys, capped per server.
+
+        ``cap_sign=+1`` grows recipients (cap: ``max_step`` expansion);
+        ``cap_sign=-1`` shrinks donors (cap: ``1/max_step`` reduction).
+        Returns the measure actually placed.
+        """
+        total_w = sum(weights.values())
+        placed = 0.0
+        if total_w <= 0 or amount <= 0:
+            return 0.0
+        for sid, w in weights.items():
+            share = amount * w / total_w
+            if cap_sign > 0:
+                cap = lengths[sid] * (self.grow_step - 1.0)
+            else:
+                cap = lengths[sid] * (1.0 - 1.0 / self.max_step)
+            take = min(share, cap)
+            deltas[sid] = deltas.get(sid, 0.0) + cap_sign * take
+            placed += take
+        return placed
+
+    def _idle_target(self, length: float, idle_rounds: int = 1) -> float:
+        if self.idle_policy == "hold":
+            return length
+        # "grow": probe the idle server back in with a seed-sized region,
+        # but only every ``idle_backoff`` rounds so that a genuinely weak
+        # server "mostly sits idle" (§5.2.2) instead of churning file
+        # sets every interval.
+        if idle_rounds % self.idle_backoff == 0:
+            return max(length, self.idle_seed)
+        return length
+
+
+class IncompetenceDetector:
+    """Flags servers the controller has effectively parked.
+
+    The paper: "ANU randomization identifies such incompetent components
+    and notifies administrators" (§5.2.2). A server is flagged after its
+    mapped region stays below ``threshold`` for ``patience`` consecutive
+    tuning rounds.
+    """
+
+    def __init__(self, threshold: float = 1e-3, patience: int = 5) -> None:
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.threshold = float(threshold)
+        self.patience = int(patience)
+        self._streak: Dict[object, int] = {}
+        self._flagged: Set[object] = set()
+
+    def observe(self, lengths: Mapping[object, float]) -> List[object]:
+        """Feed one round of post-tuning lengths; returns *newly* flagged ids."""
+        newly = []
+        for sid, length in lengths.items():
+            if length < self.threshold:
+                self._streak[sid] = self._streak.get(sid, 0) + 1
+                if self._streak[sid] >= self.patience and sid not in self._flagged:
+                    self._flagged.add(sid)
+                    newly.append(sid)
+            else:
+                self._streak[sid] = 0
+                self._flagged.discard(sid)
+        # Forget servers that left the layout.
+        for sid in list(self._streak):
+            if sid not in lengths:
+                del self._streak[sid]
+                self._flagged.discard(sid)
+        return newly
+
+    @property
+    def flagged(self) -> Set[object]:
+        """Servers currently flagged as incompetent."""
+        return set(self._flagged)

@@ -1,0 +1,47 @@
+"""Control plane: messages, network, election, heartbeats, state.
+
+The operational side of §4: latency reports travel to an elected
+delegate over a :class:`Network`; the delegate broadcasts the new unit-
+interval mapping; heartbeats detect failures; a bully election replaces
+a dead delegate with zero state transfer (the delegate is stateless).
+
+:mod:`repro.distributed.state` quantifies the replicated-state
+comparison of §5.4/§6 across all schemes.
+"""
+
+from .chord import ChordNode, ChordRing
+from .control import DistributedTuningService
+from .election import ElectionProtocol, elect
+from .heartbeat import HeartbeatMonitor
+from .messages import Message, MessageKind
+from .network import Network
+from .state import (
+    BYTES_PER_ENTRY,
+    StateFootprint,
+    anu_footprint,
+    chord_ring_footprint,
+    lookup_table_footprint,
+    simple_footprint,
+    state_table,
+    virtual_processor_footprint,
+)
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Network",
+    "elect",
+    "ElectionProtocol",
+    "HeartbeatMonitor",
+    "DistributedTuningService",
+    "ChordRing",
+    "ChordNode",
+    "StateFootprint",
+    "BYTES_PER_ENTRY",
+    "anu_footprint",
+    "virtual_processor_footprint",
+    "chord_ring_footprint",
+    "lookup_table_footprint",
+    "simple_footprint",
+    "state_table",
+]

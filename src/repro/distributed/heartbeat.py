@@ -1,0 +1,108 @@
+"""Heartbeat failure detection.
+
+The framework "treats commissioning (installing) or decommissioning
+servers the same as a recovery or failure" (§4) — but someone has to
+*notice* the failure. :class:`HeartbeatMonitor` is that someone: a
+process on the observing node that probes peers every ``period``
+seconds and declares a peer failed after ``misses`` consecutive
+unanswered probes, invoking a callback (typically the membership hook
+of the ANU manager plus a delegate re-election if the delegate died).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from ..sim import Simulator
+from .messages import Message, MessageKind
+from .network import Network
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Periodic liveness probing of a set of peers.
+
+    Parameters
+    ----------
+    env, network:
+        Simulation substrate.
+    observer:
+        Node id issuing the probes.
+    peers:
+        Node ids to watch.
+    period:
+        Seconds between probe rounds.
+    misses:
+        Consecutive unanswered probes before declaring failure.
+    on_failure / on_recovery:
+        Callbacks ``cb(peer_id)`` fired on state transitions. Recovery
+        is detected when a previously failed peer answers again.
+    """
+
+    def __init__(
+        self,
+        env: Simulator,
+        network: Network,
+        observer: object,
+        peers: Iterable[object],
+        period: float = 1.0,
+        misses: int = 3,
+        on_failure: Optional[Callable[[object], None]] = None,
+        on_recovery: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if misses < 1:
+            raise ValueError(f"misses must be >= 1, got {misses}")
+        self.env = env
+        self.network = network
+        self.observer = observer
+        self.peers = list(peers)
+        self.period = float(period)
+        self.misses = int(misses)
+        self.on_failure = on_failure
+        self.on_recovery = on_recovery
+        self._miss_count: Dict[object, int] = {p: 0 for p in self.peers}
+        self._declared_failed: set = set()
+        self.process = env.process(self._probe_loop())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def suspected(self) -> set:
+        """Peers currently declared failed."""
+        return set(self._declared_failed)
+
+    def _probe_loop(self):
+        while True:
+            yield self.env.timeout(self.period)
+            for peer in self.peers:
+                # Send the probe (for traffic accounting) and evaluate
+                # reachability: a down peer cannot answer.
+                self.network.send(
+                    Message(src=self.observer, dst=peer, kind=MessageKind.HEARTBEAT)
+                )
+                if self.network.is_down(peer):
+                    self._miss_count[peer] += 1
+                    if (
+                        self._miss_count[peer] >= self.misses
+                        and peer not in self._declared_failed
+                    ):
+                        self._declared_failed.add(peer)
+                        if self.on_failure is not None:
+                            self.on_failure(peer)
+                else:
+                    self.network.send(
+                        Message(
+                            src=peer, dst=self.observer, kind=MessageKind.HEARTBEAT_ACK
+                        )
+                    )
+                    self._miss_count[peer] = 0
+                    if peer in self._declared_failed:
+                        self._declared_failed.discard(peer)
+                        if self.on_recovery is not None:
+                            self.on_recovery(peer)
+
+    def detection_latency_bound(self) -> float:
+        """Worst-case seconds from crash to declaration."""
+        return self.period * (self.misses + 1)

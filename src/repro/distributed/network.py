@@ -1,0 +1,116 @@
+"""The simulated cluster interconnect.
+
+Cluster control traffic (reports, mappings, shed notifications,
+election and heartbeat probes) flows through a :class:`Network` with a
+configurable one-way delay. Nodes are registered with an inbox
+(:class:`repro.sim.Store`); delivery to a failed node silently drops
+the message, which is what the election and heartbeat layers observe
+as a timeout.
+
+The network keeps per-kind traffic counters so experiments can report
+control-plane cost next to shared-state size (ANU's pitch is small on
+*both* axes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from ..sim import Simulator, Store
+from .messages import Message, MessageKind
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Message transport between cluster nodes.
+
+    Parameters
+    ----------
+    env:
+        The simulator.
+    delay:
+        One-way delivery latency in seconds (LAN-scale default). A
+        callable ``delay(msg) -> float`` may be supplied for
+        distance-dependent topologies.
+    """
+
+    def __init__(self, env: Simulator, delay: float | Callable[[Message], float] = 0.0005) -> None:
+        self.env = env
+        self._delay = delay
+        self._inboxes: Dict[object, Store] = {}
+        self._down: set = set()
+        #: messages sent, per kind.
+        self.sent_count: Dict[str, int] = {k: 0 for k in MessageKind.ALL}
+        #: bytes sent, per kind.
+        self.sent_bytes: Dict[str, int] = {k: 0 for k in MessageKind.ALL}
+        #: messages dropped (destination down or unknown).
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    def register(self, node_id: object) -> Store:
+        """Attach a node; returns its inbox Store."""
+        if node_id in self._inboxes:
+            raise ValueError(f"node {node_id!r} already registered")
+        inbox = Store(self.env)
+        self._inboxes[node_id] = inbox
+        return inbox
+
+    def inbox(self, node_id: object) -> Store:
+        """The inbox of a registered node."""
+        return self._inboxes[node_id]
+
+    @property
+    def node_ids(self) -> list:
+        """All registered node ids."""
+        return list(self._inboxes)
+
+    # -- failure modeling -------------------------------------------------- #
+    def set_down(self, node_id: object, down: bool = True) -> None:
+        """Mark a node unreachable (messages to it are dropped)."""
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def is_down(self, node_id: object) -> bool:
+        """``True`` if the node is currently unreachable."""
+        return node_id in self._down
+
+    # -- sending ------------------------------------------------------------ #
+    def send(self, msg: Message) -> None:
+        """Dispatch ``msg``; it arrives after the network delay."""
+        msg.sent_at = self.env.now
+        self.sent_count[msg.kind] += 1
+        self.sent_bytes[msg.kind] += msg.wire_size
+        if msg.dst not in self._inboxes or msg.dst in self._down:
+            self.dropped += 1
+            return
+        delay = self._delay(msg) if callable(self._delay) else self._delay
+        inbox = self._inboxes[msg.dst]
+        self.env.schedule_at(self.env.now + delay, lambda: self._deliver(inbox, msg))
+
+    def _deliver(self, inbox: Store, msg: Message) -> None:
+        # Re-check: the node may have died while the message was in flight.
+        if msg.dst in self._down:
+            self.dropped += 1
+            return
+        inbox.put(msg)
+
+    def broadcast(self, src: object, kind: str, payload: object, dsts: Optional[Iterable[object]] = None) -> int:
+        """Send one message per destination; returns the send count."""
+        targets = list(dsts) if dsts is not None else [n for n in self._inboxes if n != src]
+        for dst in targets:
+            self.send(Message(src=src, dst=dst, kind=kind, payload=payload))
+        return len(targets)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_messages(self) -> int:
+        """All messages sent so far (delivered or dropped)."""
+        return sum(self.sent_count.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes sent so far."""
+        return sum(self.sent_bytes.values())

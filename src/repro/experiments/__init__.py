@@ -1,0 +1,32 @@
+"""The figure-by-figure reproduction harness.
+
+``python -m repro.experiments --all`` regenerates every figure of the
+paper's evaluation as text tables; ``repro.experiments.figures.figN``
+exposes each experiment programmatically (``run()`` → structured data,
+``render()`` → the printed rows/series).
+"""
+
+from .config import (
+    PAPER_POWERS,
+    PAPER_TUNING_INTERVAL,
+    SYSTEMS,
+    ExperimentConfig,
+    paper_config,
+)
+from .figures import FIGURES
+from .report import run_all_figures, run_figure
+from .runner import make_policy, run_comparison, run_system
+
+__all__ = [
+    "PAPER_POWERS",
+    "PAPER_TUNING_INTERVAL",
+    "SYSTEMS",
+    "ExperimentConfig",
+    "paper_config",
+    "FIGURES",
+    "run_figure",
+    "run_all_figures",
+    "make_policy",
+    "run_system",
+    "run_comparison",
+]

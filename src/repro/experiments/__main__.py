@@ -1,0 +1,49 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments --figure fig5
+    python -m repro.experiments --figure fig8 --scale 0.2 --seed 7
+    python -m repro.experiments --all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import FIGURES
+from .report import run_all_figures, run_figure
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the figures of Wu & Burns, HPDC 2004.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--figure", choices=sorted(FIGURES), help="run one figure")
+    group.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="experiment scale in (0, 1]; 1.0 is the paper-sized run",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.all:
+        for name, text in run_all_figures(seed=args.seed, scale=args.scale).items():
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            print(text)
+    else:
+        print(run_figure(args.figure, seed=args.seed, scale=args.scale))
+    print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

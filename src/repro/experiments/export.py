@@ -1,0 +1,102 @@
+"""CSV export of figure data.
+
+The harness prints figures as text tables; this module additionally
+writes the underlying series as CSV files so they can be re-plotted by
+any external tool (the repository deliberately has no plotting
+dependency). One file per figure panel, with a header comment carrying
+the provenance (figure id, seed, scale).
+
+::
+
+    from repro.experiments import figures, export
+    data = figures.fig5.run(seed=1, scale=0.2)
+    export.export_fig5(data, "out/")      # out/fig5_<system>.csv per system
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .figures.fig5 import Fig5Data
+from .figures.fig7 import Fig7Data
+from .figures.fig8 import Fig8Data
+
+__all__ = ["export_fig5", "export_fig7", "export_fig8", "write_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_csv(path: PathLike, header: List[str], rows: List[List[object]], comment: str = "") -> Path:
+    """Write one CSV file; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        if comment:
+            fh.write(f"# {comment}\n")
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig5(data: Fig5Data, out_dir: PathLike) -> List[Path]:
+    """One CSV per system: time vs per-server interval latency."""
+    out = []
+    for system, result in data.results.items():
+        sids = sorted(result.server_latency, key=repr)
+        times = result.server_latency[sids[0]].times()
+        rows = []
+        for i, t in enumerate(times):
+            row: List[object] = [float(t)]
+            for sid in sids:
+                row.append(float(result.server_latency[sid].values()[i]))
+            rows.append(row)
+        path = write_csv(
+            Path(out_dir) / f"fig5_{system}.csv",
+            header=["time_s"] + [f"server_{sid}" for sid in sids],
+            rows=rows,
+            comment=f"figure 5, system={system}, seed/scale per run config",
+        )
+        out.append(path)
+    return out
+
+
+def export_fig7(data: Fig7Data, out_dir: PathLike) -> Path:
+    """Per-round movement + cumulative workload-moved percentage."""
+    s = data.series
+    rows = [
+        [int(r), int(m), int(c), float(w)]
+        for r, m, c, w in zip(
+            s.rounds, s.moves, s.cumulative_moves, s.cumulative_work_share
+        )
+    ]
+    return write_csv(
+        Path(out_dir) / "fig7_movement.csv",
+        header=["round", "moves", "cumulative_moves", "cumulative_workload_moved_pct"],
+        rows=rows,
+        comment="figure 7, ANU load movement",
+    )
+
+
+def export_fig8(data: Fig8Data, out_dir: PathLike) -> Path:
+    """VP sweep: Nv vs latency vs shared state, plus reference rows."""
+    rows: List[List[object]] = []
+    for nv in sorted(data.sweep):
+        res = data.sweep[nv]
+        rows.append(
+            [f"vp{nv}", nv, res.aggregate_mean_latency, res.aggregate_std_latency,
+             res.shared_state_entries]
+        )
+    for system, res in data.references.items():
+        rows.append(
+            [system, "", res.aggregate_mean_latency, res.aggregate_std_latency,
+             res.shared_state_entries]
+        )
+    return write_csv(
+        Path(out_dir) / "fig8_vp_sweep.csv",
+        header=["system", "n_virtual", "mean_latency", "std_latency", "state_entries"],
+        rows=rows,
+        comment="figure 8, VP sweep + references",
+    )

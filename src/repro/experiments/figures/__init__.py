@@ -1,0 +1,14 @@
+"""One module per paper figure; each exposes ``run()`` and ``render()``."""
+
+from . import fig4, fig5, fig6, fig7, fig8
+
+#: Registry used by the CLI and the bench harness.
+FIGURES = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+}
+
+__all__ = ["fig4", "fig5", "fig6", "fig7", "fig8", "FIGURES"]

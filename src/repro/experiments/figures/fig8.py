@@ -1,0 +1,108 @@
+"""Figure 8: virtual-processor performance versus VP count.
+
+"We vary the number of virtual processors from 5 to 50, because we
+simulate 5 servers and 50 file sets. ... With a small number of virtual
+processors, the virtual processor system does not effectively balance
+the synthetic workload ... The virtual processor system achieves
+equivalent performance to ANU randomization when using 30 virtual
+processors for the 50 file sets ... When the number of virtual
+processors reaches 50, the virtual processor system outperforms ANU
+randomization on latency and performs comparably to the dynamic
+prescient system." (§5.4)
+
+Each sweep point also reports the scheme's shared-state size — the
+trade-off the section is actually about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...cluster.cluster import ClusterResult
+from ...metrics.summary import ascii_table
+from ...workloads.synthetic import generate_synthetic
+from ..config import ExperimentConfig, paper_config
+from ..runner import _fresh_workload, run_system
+
+__all__ = ["Fig8Data", "run", "render", "DEFAULT_SWEEP"]
+
+#: The paper sweeps 5 → 50 VPs for 5 servers / 50 file sets.
+DEFAULT_SWEEP = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+@dataclass
+class Fig8Data:
+    """Sweep results plus the reference systems."""
+
+    config: ExperimentConfig
+    sweep: Dict[int, ClusterResult]
+    references: Dict[str, ClusterResult]
+
+    def crossover_nv(self) -> Optional[int]:
+        """Smallest VP count matching ANU's aggregate latency (paper: ~30)."""
+        anu = self.references["anu"].aggregate_mean_latency
+        for nv in sorted(self.sweep):
+            if self.sweep[nv].aggregate_mean_latency <= anu:
+                return nv
+        return None
+
+
+def run(
+    seed: int = 1,
+    scale: float = 1.0,
+    sweep: Sequence[int] = DEFAULT_SWEEP,
+) -> Fig8Data:
+    """Execute the VP sweep and the ANU/prescient reference runs."""
+    config = paper_config(seed=seed, scale=scale)
+    workload = generate_synthetic(config.synthetic_config(), seed=seed)
+    references = {
+        system: run_system(system, _fresh_workload(workload), config)
+        for system in ("anu", "prescient")
+    }
+    sweep_results: Dict[int, ClusterResult] = {}
+    for nv in sweep:
+        sweep_results[nv] = run_system(
+            "virtual", _fresh_workload(workload), config, n_virtual=nv
+        )
+    return Fig8Data(config=config, sweep=sweep_results, references=references)
+
+
+def render(data: Fig8Data) -> str:
+    """The sweep table (8a), the close-up comparison (8b) and crossover."""
+    rows: List[Dict[str, object]] = []
+    for nv in sorted(data.sweep):
+        res = data.sweep[nv]
+        rows.append(
+            {
+                "n_virtual": nv,
+                "mean_latency": res.aggregate_mean_latency,
+                "std_latency": res.aggregate_std_latency,
+                "state_entries": res.shared_state_entries,
+                "moves": res.total_moves,
+            }
+        )
+    ref_rows: List[Dict[str, object]] = []
+    for system, res in data.references.items():
+        ref_rows.append(
+            {
+                "system": system,
+                "mean_latency": res.aggregate_mean_latency,
+                "std_latency": res.aggregate_std_latency,
+                "state_entries": res.shared_state_entries,
+            }
+        )
+    crossover = data.crossover_nv()
+    return "\n".join(
+        [
+            "Figure 8(a) — virtual-processor system vs number of VPs:",
+            ascii_table(rows),
+            "",
+            "Figure 8(b) — references (same workload):",
+            ascii_table(ref_rows),
+            "",
+            "VP/ANU latency crossover at n_virtual = "
+            + (str(crossover) if crossover is not None else "not reached")
+            + " (paper: ~30 of 50 file sets)",
+        ]
+    )

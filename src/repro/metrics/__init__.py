@@ -1,0 +1,47 @@
+"""Measurement extraction for the paper's figures.
+
+* :mod:`repro.metrics.latency` — Figures 4/5 series, Figure 6 stats
+* :mod:`repro.metrics.movement` — Figure 7 series
+* :mod:`repro.metrics.consistency` — §5.2.2 consistency quantification
+* :mod:`repro.metrics.summary` — cross-system tables + ASCII rendering
+"""
+
+from .consistency import (
+    ConsistencyReport,
+    coefficient_of_variation,
+    consistency_report,
+    jain_index,
+)
+from .latency import (
+    AggregateLatency,
+    aggregate_latency,
+    convergence_round,
+    latency_series,
+    per_server_mean,
+    steady_state_means,
+)
+from .movement import MovementSeries, front_loadedness, movement_series
+from .sla import SLA, SLAReport, evaluate_sla
+from .summary import ascii_table, comparison_rows, format_float
+
+__all__ = [
+    "AggregateLatency",
+    "aggregate_latency",
+    "per_server_mean",
+    "latency_series",
+    "steady_state_means",
+    "convergence_round",
+    "MovementSeries",
+    "movement_series",
+    "SLA",
+    "SLAReport",
+    "evaluate_sla",
+    "front_loadedness",
+    "ConsistencyReport",
+    "consistency_report",
+    "jain_index",
+    "coefficient_of_variation",
+    "ascii_table",
+    "comparison_rows",
+    "format_float",
+]

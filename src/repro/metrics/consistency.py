@@ -1,0 +1,86 @@
+"""Performance-consistency metrics (§5.2.2).
+
+"Servers exhibit consistent average latency values in [the] ANU
+randomization system, except server 0, the weakest server. ...
+application workloads will observe consistent latency over any
+non-idle server in the cluster once the system reaches balance."
+
+Consistency is quantified two ways:
+
+* **coefficient of variation** of per-server mean latency across the
+  servers that matter (those serving at least ``min_share`` of
+  requests — the paper explicitly discounts server 0 because it served
+  0.37% of requests);
+* **Jain's fairness index** over the same values (1.0 = perfectly
+  consistent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..cluster.cluster import ClusterResult
+
+__all__ = ["ConsistencyReport", "consistency_report", "jain_index", "coefficient_of_variation"]
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """std/mean of ``values`` (population std); ``nan`` if degenerate."""
+    if values.size < 2:
+        return math.nan
+    mean = values.mean()
+    if mean == 0:
+        return math.nan
+    return float(values.std() / mean)
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)`` in (0, 1]."""
+    if values.size == 0:
+        return math.nan
+    denom = values.size * float((values**2).sum())
+    if denom == 0:
+        return math.nan
+    return float(values.sum()) ** 2 / denom
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Consistency of one run's per-server latency.
+
+    ``included`` are the servers counted (request share ≥ threshold);
+    ``excluded`` the discounted ones with their request shares — the
+    paper's server-0 caveat made explicit and auditable.
+    """
+
+    policy: str
+    included: Dict[object, float]
+    excluded: Dict[object, float]
+    cov: float
+    jain: float
+
+
+def consistency_report(result: ClusterResult, min_share: float = 0.01) -> ConsistencyReport:
+    """Consistency over servers serving at least ``min_share`` of requests."""
+    if not 0 <= min_share < 1:
+        raise ValueError(f"min_share must be in [0, 1), got {min_share}")
+    included: Dict[object, float] = {}
+    excluded: Dict[object, float] = {}
+    for sid, tally in result.server_tally.items():
+        share = result.request_share(sid)
+        if share >= min_share and tally.count > 0:
+            included[sid] = tally.mean
+        else:
+            excluded[sid] = share if not math.isnan(share) else 0.0
+    values = np.array(list(included.values()), dtype=np.float64)
+    return ConsistencyReport(
+        policy=result.policy_name,
+        included=included,
+        excluded=excluded,
+        cov=coefficient_of_variation(values),
+        jain=jain_index(values),
+    )

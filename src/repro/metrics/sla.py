@@ -1,0 +1,111 @@
+"""Service-level views of cluster results.
+
+"as cluster and grid systems extend to support Service Level
+Agreements [7, 8], it is essential that application performance is
+consistent over different servers in a heterogeneous cluster" (§5.2.2).
+
+An SLA here is a latency target with a required attainment fraction
+(e.g. "95% of requests within 5 s"). The module evaluates a run
+globally, per server, and over time — the per-server view is the
+paper's consistency argument restated operationally: a cluster is
+consistent when *every busy server* attains the SLA, not just the
+average.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.cluster import ClusterResult
+
+__all__ = ["SLA", "SLAReport", "evaluate_sla"]
+
+
+@dataclass(frozen=True)
+class SLA:
+    """A latency service-level agreement.
+
+    Attributes
+    ----------
+    latency_target:
+        Response-time threshold in seconds.
+    attainment:
+        Required fraction of requests at or under the threshold.
+    """
+
+    latency_target: float
+    attainment: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.latency_target <= 0:
+            raise ValueError(f"latency_target must be > 0: {self.latency_target}")
+        if not 0 < self.attainment <= 1:
+            raise ValueError(f"attainment must be in (0, 1]: {self.attainment}")
+
+    def met_by(self, fraction_within: float) -> bool:
+        """Does an observed within-target fraction satisfy the SLA?"""
+        return fraction_within >= self.attainment
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """SLA evaluation of one run."""
+
+    policy: str
+    sla: SLA
+    #: Fraction of all completed requests within target.
+    global_attainment: float
+    #: Whether the run as a whole met the SLA.
+    global_met: bool
+    #: Per-server attainment over that server's completed requests.
+    per_server: Dict[object, float]
+    #: Busy servers (share >= min_share) failing the SLA — the
+    #: inconsistency the paper warns about.
+    violating_servers: List[object]
+
+    @property
+    def consistent(self) -> bool:
+        """SLA met on *every* busy server (the §5.2.2 criterion)."""
+        return self.global_met and not self.violating_servers
+
+
+def evaluate_sla(
+    result: ClusterResult, sla: SLA, min_share: float = 0.01
+) -> SLAReport:
+    """Evaluate ``sla`` against a cluster run.
+
+    Unfinished requests count as violations at the global level (a
+    request that never completed certainly missed its target); servers
+    below ``min_share`` of requests are exempt from the per-server
+    consistency check, mirroring the paper's treatment of the
+    near-idle weakest server.
+    """
+    lat = result.all_latencies
+    within = int((lat <= sla.latency_target).sum()) if lat.size else 0
+    denominator = max(result.submitted, 1)
+    global_attainment = within / denominator
+
+    per_server: Dict[object, float] = {}
+    violating: List[object] = []
+    for sid, tally in result.server_tally.items():
+        if tally.count == 0:
+            per_server[sid] = math.nan
+            continue
+        samples = tally.samples
+        frac = float((samples <= sla.latency_target).mean())
+        per_server[sid] = frac
+        if result.request_share(sid) >= min_share and not sla.met_by(frac):
+            violating.append(sid)
+
+    return SLAReport(
+        policy=result.policy_name,
+        sla=sla,
+        global_attainment=global_attainment,
+        global_met=sla.met_by(global_attainment),
+        per_server=per_server,
+        violating_servers=sorted(violating, key=repr),
+    )

@@ -1,0 +1,86 @@
+"""Cross-system comparison tables and plain-text rendering.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers build those tables from :class:`ClusterResult` objects
+and render them as aligned ASCII (no plotting dependencies — results
+are numbers first).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cluster.cluster import ClusterResult
+from .consistency import consistency_report
+from .latency import aggregate_latency, per_server_mean
+
+__all__ = ["comparison_rows", "ascii_table", "format_float"]
+
+
+def format_float(x: float, digits: int = 3) -> str:
+    """Fixed-point format with ``nan``/``None`` rendered as ``-``."""
+    if x is None or (isinstance(x, float) and math.isnan(x)):
+        return "-"
+    return f"{x:.{digits}f}"
+
+
+def comparison_rows(results: Sequence[ClusterResult]) -> List[Dict[str, object]]:
+    """One summary row per system (the Figure 6 + §5.4 quantities)."""
+    rows: List[Dict[str, object]] = []
+    for res in results:
+        agg = aggregate_latency(res)
+        cons = consistency_report(res)
+        row: Dict[str, object] = {
+            "system": res.policy_name,
+            "mean_latency": agg.mean,
+            "std_latency": agg.std,
+            "completed": res.completed,
+            "unfinished": res.unfinished,
+            "moves": res.total_moves,
+            "moved_work_%": res.total_moved_work_share * 100.0,
+            "state_entries": res.shared_state_entries,
+            "consistency_cov": cons.cov,
+            "jain": cons.jain,
+        }
+        for sid, (mean, count) in sorted(
+            per_server_mean(res).items(), key=lambda kv: repr(kv[0])
+        ):
+            row[f"s{sid}_mean"] = mean
+            row[f"s{sid}_req"] = count
+        rows.append(row)
+    return rows
+
+
+def ascii_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    digits: int = 3,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    Column order follows ``columns`` when given, else the key order of
+    the first row. Floats are fixed-point; everything else ``str()``.
+    """
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in cols]]
+    for row in rows:
+        cells = []
+        for c in cols:
+            v = row.get(c)
+            if isinstance(v, float):
+                cells.append(format_float(v, digits))
+            elif v is None:
+                cells.append("-")
+            else:
+                cells.append(str(v))
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(cols))]
+    lines = []
+    for i, cells in enumerate(rendered):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Placement policies: ANU and the paper's baselines.
+
+All five implement :class:`LoadManager`, so the cluster driver runs
+any of them interchangeably:
+
+* :class:`SimpleRandomization` — static uniform hash (§5.1)
+* :class:`DynamicPrescient` — perfect-knowledge optimum (§5.1)
+* :class:`VirtualProcessorSystem` — Nv VPs, prescient VP→server map (§5.1)
+* :class:`ANURandomization` — the paper's system (§4)
+* :class:`TableBinPacking` — O(m) lookup-table comparator (§6)
+"""
+
+from .anu import ANURandomization
+from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+from .optimizer import balance_items, estimated_average_latency
+from .prescient import DynamicPrescient
+from .simple import SimpleRandomization
+from .table import TableBinPacking
+from .virtual import VirtualProcessorSystem
+from .weighted import WeightedHashing
+
+__all__ = [
+    "LoadManager",
+    "Move",
+    "PrescientKnowledge",
+    "RebalanceContext",
+    "SimpleRandomization",
+    "DynamicPrescient",
+    "VirtualProcessorSystem",
+    "ANURandomization",
+    "TableBinPacking",
+    "WeightedHashing",
+    "balance_items",
+    "estimated_average_latency",
+]

@@ -1,0 +1,135 @@
+"""The load-manager interface shared by ANU and every baseline.
+
+The cluster driver (:mod:`repro.cluster.cluster`) is policy-agnostic:
+it routes each request through :meth:`LoadManager.locate`, and at every
+tuning interval hands the policy the servers' latency reports plus — for
+policies entitled to it — *prescient knowledge* of the upcoming
+interval. The four systems of the paper differ only in how they
+implement this interface:
+
+========================  ==========  =====================  ============
+System                    adapts?     uses knowledge?        shared state
+========================  ==========  =====================  ============
+simple randomization      no          no                     O(1)
+dynamic prescient         每 interval  yes (oracle)           n/a (oracle)
+virtual processors        每 interval  yes (oracle)           O(#VP)
+ANU randomization         每 interval  no (reports only)      O(k)
+========================  ==========  =====================  ============
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cluster.fileset import FileSetCatalog
+from ..core.tuning import LatencyReport
+
+__all__ = ["Move", "PrescientKnowledge", "RebalanceContext", "LoadManager"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One file set re-assigned from ``source`` to ``target``."""
+
+    fileset: str
+    source: Optional[object]
+    target: object
+
+
+@dataclass(frozen=True)
+class PrescientKnowledge:
+    """Oracle information available to prescient-class policies.
+
+    Attributes
+    ----------
+    server_powers:
+        True service rate of every live server (work units / second).
+    upcoming_work:
+        Work each file set will offer during the *next* tuning interval
+        (work units). This is genuine prescience — it is computed from
+        the pre-generated request schedule, which no online system could
+        know. Only *dynamic prescient* (the upper bound) reads it.
+    average_work:
+        Long-run work per tuning interval per file set (rate × interval).
+        This is the paper's "perfect knowledge of ... workload
+        characteristics" — the characteristic demand, not the future
+        arrival schedule. The virtual-processor system uses this view;
+        giving it the upcoming schedule would let it dodge individual
+        bursts and make it an oracle rather than the paper's baseline.
+        ANU reads neither.
+    """
+
+    server_powers: Mapping[object, float]
+    upcoming_work: Mapping[str, float]
+    average_work: Mapping[str, float]
+
+
+@dataclass
+class RebalanceContext:
+    """Everything a policy may consult during one tuning round.
+
+    ``observed_fileset_work`` is the merged per-file-set work the
+    servers *measured* over the closing interval — a legitimate online
+    observation (each server saw the requests it served), used by the
+    bin-packing table baseline. ``knowledge`` is the prescient oracle
+    for the *upcoming* interval; only prescient-class policies may read
+    it.
+    """
+
+    now: float
+    round_index: int
+    reports: Sequence[LatencyReport]
+    knowledge: Optional[PrescientKnowledge] = None
+    observed_fileset_work: Optional[Dict[str, float]] = None
+
+
+class LoadManager(abc.ABC):
+    """Abstract placement policy.
+
+    Life cycle: :meth:`initial_placement` once before the simulation
+    starts, then :meth:`locate` per request (hot path, must be O(1) or
+    near), then :meth:`rebalance` once per tuning interval.
+    """
+
+    #: Human-readable policy name (used in reports and figures).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial_placement(
+        self, catalog: FileSetCatalog, knowledge: Optional[PrescientKnowledge]
+    ) -> Dict[str, object]:
+        """Assign every file set before t=0; returns name → server."""
+
+    @abc.abstractmethod
+    def locate(self, fileset: str) -> object:
+        """Server currently responsible for ``fileset``."""
+
+    @abc.abstractmethod
+    def rebalance(self, ctx: RebalanceContext) -> List[Move]:
+        """Run one tuning round; returns the file sets that moved."""
+
+    @abc.abstractmethod
+    def shared_state_entries(self) -> int:
+        """Replicated-state size in table entries (paper §5.4 metric).
+
+        Conventions: simple randomization needs only the server list
+        (``k`` entries); ANU replicates its region map (O(k) segments);
+        virtual processors replicate one address per VP; a lookup-table
+        scheme replicates one row per file set. The prescient oracle
+        reports the table it would need to distribute (O(m)).
+        """
+
+    # -- optional membership hooks (default: unsupported) ----------------- #
+    def server_failed(self, server_id: object) -> List[Move]:
+        """React to a server failure; returns re-routed file sets."""
+        raise NotImplementedError(f"{self.name} does not support membership changes")
+
+    def server_added(self, server_id: object, power_hint: Optional[float] = None) -> List[Move]:
+        """React to a server addition/recovery; returns moved file sets."""
+        raise NotImplementedError(f"{self.name} does not support membership changes")
+
+    def assignments(self) -> Dict[str, object]:
+        """Snapshot of the full file-set → server map (diagnostics)."""
+        raise NotImplementedError

@@ -1,0 +1,137 @@
+"""Static capacity-weighted hashing — the "if you knew the powers" baseline.
+
+Related-work context (§2): one family of techniques "take[s] into
+account server heterogeneity but require[s] ... knowledge of the
+capacity of any given server". The modern common form is weighted
+consistent/rendezvous hashing: place each file set on the server whose
+capacity-scaled hash score wins. It is static (no tuning traffic, no
+movement) and heterogeneity-aware — but it needs the very knowledge ANU
+is designed to operate without, and being static it cannot react to
+workload skew or hashing variance.
+
+This policy completes the comparison matrix:
+
+===================  ============  ==================
+policy               adapts?       needs capacities?
+===================  ============  ==================
+simple               no            no
+weighted (this)      no            yes
+anu                  yes           no
+prescient/virtual    yes           yes (oracle)
+===================  ============  ==================
+
+Placement is weighted rendezvous (highest-random-weight) hashing:
+``score(s, f) = -ln(h(s, f)) / weight_s`` minimized over servers —
+the standard construction whose expected share is proportional to the
+weight and whose placements move minimally on membership change.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..cluster.fileset import FileSetCatalog
+from ..core.hashing import HashFamily
+from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+
+__all__ = ["WeightedHashing"]
+
+
+class WeightedHashing(LoadManager):
+    """Weighted rendezvous hashing over known server capacities.
+
+    Parameters
+    ----------
+    server_weights:
+        Server id → capacity weight (> 0). In the paper's cluster these
+        are the true powers {1, 3, 5, 7, 9} — knowledge ANU never gets.
+    """
+
+    name = "weighted"
+
+    def __init__(
+        self,
+        server_weights: Dict[object, float],
+        hash_family: Optional[HashFamily] = None,
+    ) -> None:
+        if not server_weights:
+            raise ValueError("need at least one server")
+        if any(w <= 0 for w in server_weights.values()):
+            raise ValueError("weights must be > 0")
+        self.weights = dict(server_weights)
+        self.hash_family = hash_family or HashFamily()
+        self._assignment: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    def _score(self, server_id: object, fileset: str) -> float:
+        """Weighted-rendezvous score; the minimum wins.
+
+        ``-ln(u) / w`` with ``u = h(server, fileset)`` uniform: an
+        exponential race where server ``s`` wins with probability
+        ``w_s / Σw`` — the textbook weighted rendezvous construction.
+        """
+        u = self.hash_family.offset(f"{server_id!r}\x00{fileset}")
+        u = min(max(u, 1e-18), 1.0 - 1e-18)
+        return -math.log(u) / self.weights[server_id]
+
+    def _place(self, fileset: str) -> object:
+        return min(
+            self.weights,
+            key=lambda sid: (self._score(sid, fileset), repr(sid)),
+        )
+
+    # ------------------------------------------------------------------ #
+    def initial_placement(
+        self, catalog: FileSetCatalog, knowledge: Optional[PrescientKnowledge]
+    ) -> Dict[str, object]:
+        """Weight-proportional static placement (no oracle needed)."""
+        self._assignment = {name: self._place(name) for name in catalog.names}
+        return dict(self._assignment)
+
+    def locate(self, fileset: str) -> object:
+        sid = self._assignment.get(fileset)
+        if sid is None:
+            sid = self._place(fileset)
+            self._assignment[fileset] = sid
+        return sid
+
+    def rebalance(self, ctx: RebalanceContext) -> List[Move]:
+        """Static policy: never moves anything."""
+        return []
+
+    def shared_state_entries(self) -> int:
+        """The weight vector is the only replicated state: O(k)."""
+        return len(self.weights)
+
+    # ------------------------------------------------------------------ #
+    def server_failed(self, server_id: object) -> List[Move]:
+        """Rendezvous property: only the victim's file sets move."""
+        if server_id not in self.weights:
+            raise ValueError(f"unknown server {server_id!r}")
+        del self.weights[server_id]
+        if not self.weights:
+            raise ValueError("no surviving servers")
+        moves: List[Move] = []
+        for name, sid in self._assignment.items():
+            if sid == server_id:
+                new = self._place(name)
+                self._assignment[name] = new
+                moves.append(Move(name, None, new))
+        return moves
+
+    def server_added(self, server_id: object, power_hint: Optional[float] = None) -> List[Move]:
+        """Adding a server steals exactly its weight share of file sets."""
+        if server_id in self.weights:
+            raise ValueError(f"server {server_id!r} already present")
+        self.weights[server_id] = float(power_hint) if power_hint else 1.0
+        moves: List[Move] = []
+        for name, sid in self._assignment.items():
+            new = self._place(name)
+            if new != sid:
+                self._assignment[name] = new
+                moves.append(Move(name, sid, new))
+        return moves
+
+    def assignments(self) -> Dict[str, object]:
+        return dict(self._assignment)

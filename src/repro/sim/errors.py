@@ -1,0 +1,67 @@
+"""Exception types for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) raises these instead of generic
+``RuntimeError``/``ValueError`` so callers can distinguish simulation
+protocol violations (scheduling into the past, re-triggering a fired
+event) from ordinary bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SchedulingError",
+    "EventStateError",
+    "ProcessError",
+    "Interrupt",
+    "StopSimulation",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class EventStateError(SimulationError):
+    """An event was used in a way inconsistent with its life cycle.
+
+    Examples: triggering an event twice, or scheduling an event that has
+    already been processed.
+    """
+
+
+class ProcessError(SimulationError):
+    """A process generator raised, or was resumed in an invalid state."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process generator by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    ``Interrupt`` deliberately subclasses :class:`Exception` rather than
+    :class:`SimulationError` so that processes can catch it without
+    swallowing genuine kernel errors.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class StopSimulation(Exception):
+    """Raised internally to terminate :meth:`Simulator.run` early.
+
+    User code normally calls :meth:`Simulator.stop` instead of raising
+    this directly.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value

@@ -1,0 +1,237 @@
+"""Events and the pending-event calendar for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with an attached value and a
+list of callbacks. Events move through three states:
+
+``PENDING`` → ``TRIGGERED`` (scheduled on the calendar) → ``PROCESSED``
+(callbacks ran).
+
+The :class:`EventQueue` is a binary-heap calendar keyed on
+``(time, priority, sequence)``. The monotonically increasing sequence
+number makes event ordering *fully deterministic*: two events scheduled
+for the same time and priority fire in scheduling order, independent of
+heap internals. Determinism is essential for reproducible experiments —
+every figure in the paper reproduction is re-runnable bit-for-bit from a
+seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import IntEnum
+from typing import Any, Callable, List, Optional
+
+from .errors import EventStateError, SchedulingError
+
+__all__ = ["EventState", "Event", "Timeout", "CompositeEvent", "AllOf", "AnyOf", "EventQueue"]
+
+
+class EventState(IntEnum):
+    """Life-cycle states of an :class:`Event`."""
+
+    PENDING = 0
+    TRIGGERED = 1
+    PROCESSED = 2
+
+
+class Event:
+    """A one-shot simulation event.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.sim.kernel.Simulator`. May be ``None``
+        for free-standing events used in tests; such events must be
+        triggered through a kernel explicitly.
+
+    Attributes
+    ----------
+    value:
+        The payload delivered to callbacks and to yielding processes.
+        ``None`` until the event is triggered.
+    ok:
+        ``True`` if the event succeeded, ``False`` if it failed. A failed
+        event re-raises its ``value`` (an exception) inside any process
+        waiting on it.
+    callbacks:
+        Callables invoked as ``cb(event)`` when the event is processed.
+    """
+
+    __slots__ = ("env", "callbacks", "value", "ok", "_state", "_defused")
+
+    def __init__(self, env: Optional["Any"] = None) -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.value: Any = None
+        self.ok: bool = True
+        self._state = EventState.PENDING
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def state(self) -> EventState:
+        """Current life-cycle state."""
+        return self._state
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been placed on the calendar."""
+        return self._state >= EventState.TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have run."""
+        return self._state == EventState.PROCESSED
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; ``exception`` propagates to waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._trigger(ok=False, value=exception)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._state != EventState.PENDING:
+            raise EventStateError(f"{self!r} has already been triggered")
+        if self.env is None:
+            raise EventStateError(f"{self!r} has no simulator to schedule on")
+        self.ok = ok
+        self.value = value
+        self._state = EventState.TRIGGERED
+        self.env._schedule(self, delay=0.0)
+
+    def _mark_processed(self) -> None:
+        self._state = EventState.PROCESSED
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not crash.
+
+        When a failed event is processed and nobody is waiting on it, the
+        kernel raises the failure to the top level unless the event has
+        been defused.
+        """
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<{type(self).__name__} state={self._state.name} value={self.value!r}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Created via :meth:`Simulator.timeout`; it is triggered at construction
+    time and cannot fail.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: Any, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self.ok = True
+        self.value = value
+        self._state = EventState.TRIGGERED
+        env._schedule(self, delay=self.delay)
+
+
+class CompositeEvent(Event):
+    """Base for events that fire when a condition over child events holds."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: Any, events: List[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            # Empty condition is immediately true.
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._child_fired(ev)
+            else:
+                ev.callbacks.append(self._child_fired)
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._state != EventState.PENDING:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed({e: e.value for e in self.events if e.processed or e.triggered})
+
+
+class AllOf(CompositeEvent):
+    """Fires when *all* child events have fired (conjunction)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(CompositeEvent):
+    """Fires when *any* child event has fired (disjunction)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class EventQueue:
+    """Deterministic binary-heap event calendar.
+
+    Entries are ``(time, priority, seq, event)`` tuples. ``seq`` is drawn
+    from a process-wide counter so FIFO order is preserved among equal
+    ``(time, priority)`` keys.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    #: Default scheduling priority. Lower fires first at equal times.
+    NORMAL = 1
+    #: Priority for urgent bookkeeping events (fire before NORMAL).
+    URGENT = 0
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, event: Event, priority: int = NORMAL) -> None:
+        """Schedule ``event`` to fire at absolute ``time``."""
+        heapq.heappush(self._heap, (time, priority, next(self._seq), event))
+
+    def peek_time(self) -> float:
+        """Absolute time of the next event; raises ``IndexError`` if empty."""
+        return self._heap[0][0]
+
+    def pop(self) -> tuple:
+        """Pop and return ``(time, priority, seq, event)`` of the next event."""
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop all pending entries (used when resetting a simulator)."""
+        self._heap.clear()

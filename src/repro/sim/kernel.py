@@ -1,0 +1,189 @@
+"""The discrete-event simulation kernel (YACSIM substitute).
+
+The paper's evaluation uses YACSIM, a C library for discrete-event
+simulation. :class:`Simulator` provides the equivalent facilities in
+Python: a virtual clock, an event calendar, generator-based processes,
+and (via :mod:`repro.sim.resources`) FIFO service stations.
+
+The kernel is single-threaded and fully deterministic: given the same
+seeds and the same scheduling order, two runs produce identical event
+sequences. All times are ``float`` seconds of *simulated* time.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(5.0)
+...     log.append(env.now)
+>>> _ = sim.process(proc(sim))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import SchedulingError, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, EventQueue, Timeout
+from .process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock (default ``0.0``).
+
+    Notes
+    -----
+    The public surface mirrors the small, well-known process-interaction
+    style (SimPy-like): :meth:`process` registers a generator as a
+    process, :meth:`timeout` creates delay events, and :meth:`run`
+    executes the calendar until exhaustion or a deadline.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._stopped: Optional[StopSimulation] = None
+        #: Number of events processed so far (diagnostic counter).
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # event factories
+    # ------------------------------------------------------------------ #
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event` owned by this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a process and start it immediately.
+
+        The generator may ``yield`` any :class:`Event` (including other
+        processes) to wait for it; the value sent back into the generator
+        is the event's ``value``.
+        """
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every event in ``events`` has fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires once any event in ``events`` has fired."""
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = EventQueue.NORMAL) -> None:
+        """Place a triggered event on the calendar ``delay`` from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay!r} seconds into the past")
+        self._queue.push(self._now + delay, event, priority)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` at absolute simulated ``time``.
+
+        Returns the underlying event. This is the hook used by periodic
+        controllers (e.g. the ANU tuning loop) that prefer callback style
+        over full processes.
+        """
+        if time < self._now:
+            raise SchedulingError(f"schedule_at({time}) is in the past (now={self._now})")
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: callback())
+        ev.ok = True
+        ev._state = ev._state.__class__.TRIGGERED  # type: ignore[attr-defined]
+        self._queue.push(time, ev, EventQueue.NORMAL)
+        return ev
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Process exactly one event from the calendar.
+
+        Raises ``IndexError`` if the calendar is empty. Raises the
+        failure of an un-defused failed event.
+        """
+        time, _prio, _seq, event = self._queue.pop()
+        if time < self._now:  # pragma: no cover - defensive, cannot happen
+            raise SimulationError("calendar produced an event in the past")
+        self._now = time
+        event._mark_processed()
+        self.events_processed += 1
+        for callback in event.callbacks:
+            callback(event)
+        event.callbacks = []  # free references; event is one-shot
+        if not event.ok and not event._defused:
+            # Nobody handled the failure: surface it.
+            raise event.value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        try:
+            return self._queue.peek_time()
+        except IndexError:
+            return float("inf")
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the calendar.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the clock would pass ``until`` and set the
+            clock to exactly ``until``. If ``None``, run until no events
+            remain.
+
+        Returns
+        -------
+        The value passed to :meth:`stop`, if the run was stopped early.
+        """
+        if until is not None and until < self._now:
+            raise SchedulingError(f"run(until={until}) is in the past (now={self._now})")
+        try:
+            while self._queue:
+                if until is not None and self._queue.peek_time() > until:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if until is not None and self._now < until:
+            self._now = until
+        return None
+
+    def stop(self, value: Any = None) -> None:
+        """Terminate the enclosing :meth:`run` call immediately."""
+        raise StopSimulation(value)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of events currently on the calendar."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"<Simulator now={self._now} pending={len(self._queue)}>"

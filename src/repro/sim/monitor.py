@@ -1,0 +1,191 @@
+"""Measurement collection inside simulations.
+
+Two collectors cover the paper's needs:
+
+* :class:`Tally` — unweighted observations (e.g. per-request latency),
+  with streaming mean/variance (Welford) so memory stays O(1) when raw
+  samples are not retained.
+* :class:`TimeSeries` — timestamped samples (e.g. per-interval server
+  latency reported to the delegate), retained in full for plotting the
+  paper's latency-versus-time figures.
+
+Both are deliberately simulator-agnostic: they take explicit timestamps
+so they can also be unit-tested without a kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Tally", "TimeSeries"]
+
+
+class Tally:
+    """Streaming statistics over unweighted observations.
+
+    Uses Welford's algorithm for numerically stable mean/variance.
+    Optionally keeps raw samples (``keep=True``) for percentile queries.
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_samples")
+
+    def __init__(self, keep: bool = False) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: Optional[List[float]] = [] if keep else None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for v in values:
+            self.observe(v)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; ``nan`` with zero observations."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; ``nan`` with < 2 observations."""
+        return self._m2 / (self._n - 1) if self._n > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation; ``nan`` if empty."""
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation; ``nan`` if empty."""
+        return self._max if self._n else math.nan
+
+    @property
+    def samples(self) -> np.ndarray:
+        """Raw observations (requires ``keep=True`` at construction)."""
+        if self._samples is None:
+            raise ValueError("Tally was created with keep=False; raw samples unavailable")
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile (requires ``keep=True`` at construction)."""
+        if self._samples is None:
+            raise ValueError("Tally was created with keep=False; raw samples unavailable")
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.__init__(keep=self._samples is not None)  # type: ignore[misc]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"<Tally n={self._n} mean={self.mean:.6g}>"
+
+
+class TimeSeries:
+    """Timestamped samples, retained in full.
+
+    Backing storage is two parallel Python lists (cheap appends);
+    :meth:`times` / :meth:`values` expose NumPy views for vectorized
+    analysis, following the repo's "append in Python, analyse in NumPy"
+    idiom.
+    """
+
+    __slots__ = ("name", "_t", "_v")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one ``(time, value)`` sample. Times must be nondecreasing."""
+        if self._t and time < self._t[-1]:
+            raise ValueError(
+                f"timestamps must be nondecreasing: got {time} after {self._t[-1]}"
+            )
+        self._t.append(float(time))
+        self._v.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps as a float array."""
+        return np.asarray(self._t, dtype=np.float64)
+
+    def values(self) -> np.ndarray:
+        """Sample values as a float array."""
+        return np.asarray(self._v, dtype=np.float64)
+
+    def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``t0 <= time < t1`` as ``(times, values)`` arrays."""
+        t = self.times()
+        v = self.values()
+        mask = (t >= t0) & (t < t1)
+        return t[mask], v[mask]
+
+    def window_mean(self, t0: float, t1: float) -> float:
+        """Mean value over ``[t0, t1)``; ``nan`` if the window is empty."""
+        _, v = self.window(t0, t1)
+        return float(v.mean()) if v.size else math.nan
+
+    def resample(self, edges: Sequence[float]) -> np.ndarray:
+        """Mean value in each ``[edges[i], edges[i+1])`` bucket.
+
+        Empty buckets yield ``nan``. Vectorized via ``np.searchsorted`` —
+        O(n log n) once rather than one scan per bucket.
+        """
+        edges_arr = np.asarray(edges, dtype=np.float64)
+        if edges_arr.size < 2:
+            raise ValueError("need at least two bucket edges")
+        t = self.times()
+        v = self.values()
+        idx = np.searchsorted(edges_arr, t, side="right") - 1
+        nbuckets = edges_arr.size - 1
+        valid = (idx >= 0) & (idx < nbuckets) & (t < edges_arr[-1])
+        sums = np.bincount(idx[valid], weights=v[valid], minlength=nbuckets)
+        counts = np.bincount(idx[valid], minlength=nbuckets)
+        with np.errstate(invalid="ignore"):
+            out = sums / counts
+        out[counts == 0] = np.nan
+        return out
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent ``(time, value)``; raises ``IndexError`` if empty."""
+        return self._t[-1], self._v[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"<TimeSeries {self.name!r} n={len(self._t)}>"

@@ -1,0 +1,128 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator. The generator ``yield``\\ s
+:class:`~repro.sim.events.Event` objects; each yield suspends the process
+until the event fires, at which point the event's value is sent back into
+the generator (or its exception thrown in, for failed events).
+
+A process is itself an event: it fires, with the generator's return value,
+when the generator finishes. This lets processes wait on each other::
+
+    def parent(env):
+        child_proc = env.process(child(env))
+        result = yield child_proc          # wait for the child
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .errors import EventStateError, Interrupt, ProcessError
+from .events import Event, EventState
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process (also usable as an event).
+
+    Do not instantiate directly; use :meth:`Simulator.process`.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: Any, generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise ProcessError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        #: The event this process is currently waiting on (``None`` if
+        #: it is scheduled to resume or has finished).
+        self._target: Event | None = None
+        #: Human-readable name used in reprs and error messages.
+        self.name = getattr(generator, "__name__", None) or repr(generator)
+        # Kick the process off via an immediately-triggered init event so
+        # that processes start in deterministic scheduling order.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.ok = True
+        init._state = EventState.TRIGGERED
+        env._schedule(init, delay=0.0)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return self._state == EventState.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (if any) and the
+        interrupt is delivered as an exception the generator may catch.
+        Interrupting a finished process raises :class:`EventStateError`.
+        """
+        if not self.is_alive:
+            raise EventStateError(f"cannot interrupt finished process {self.name}")
+        # Detach from the current target so its later firing is ignored.
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        ev = Event(self.env)
+        ev.ok = False
+        ev.value = Interrupt(cause)
+        ev._state = EventState.TRIGGERED
+        ev._defused = True  # the process is the handler
+        ev.callbacks.append(self._resume)
+        self.env._schedule(ev, delay=0.0)
+
+    # ------------------------------------------------------------------ #
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired ``event``."""
+        self._target = None
+        try:
+            if event.ok:
+                next_target = self.generator.send(event.value)
+            else:
+                event.defuse()
+                next_target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # Uncaught interrupt terminates the process as failed.
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            self.fail(exc)
+            return
+
+        if not isinstance(next_target, Event):
+            err = ProcessError(
+                f"process {self.name} yielded {next_target!r}, which is not an Event"
+            )
+            self.generator.close()
+            self.fail(err)
+            return
+        if next_target.processed:
+            # Already fired: resume on the next calendar step to keep
+            # time monotone and ordering deterministic.
+            bridge = Event(self.env)
+            bridge.ok = next_target.ok
+            bridge.value = next_target.value
+            bridge._state = EventState.TRIGGERED
+            if not bridge.ok:
+                bridge._defused = True
+            bridge.callbacks.append(self._resume)
+            self.env._schedule(bridge, delay=0.0)
+            self._target = bridge
+        else:
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        status = "alive" if self.is_alive else "done"
+        return f"<Process {self.name} ({status})>"

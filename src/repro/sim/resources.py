@@ -1,0 +1,165 @@
+"""Shared resources with FIFO queueing.
+
+The paper's simulated file servers "use a first-in-first-out queuing
+discipline for workload" (§5.1). :class:`Resource` models a station with
+``capacity`` identical service slots and a FIFO wait queue. A
+:class:`Request` is an event that fires when a slot is granted; releasing
+the slot admits the next waiter.
+
+:class:`Store` is a FIFO producer/consumer buffer used by the control
+plane (message queues between servers and the delegate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .errors import EventStateError, SimulationError
+from .events import Event, EventState
+
+__all__ = ["Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager inside a process::
+
+        with server.request() as req:
+            yield req            # wait for a slot
+            yield env.timeout(service_time)
+        # slot released on exit
+    """
+
+    __slots__ = ("resource", "enqueued_at", "granted_at")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        #: Simulated time the request joined the queue.
+        self.enqueued_at = resource.env.now
+        #: Simulated time the slot was granted (``None`` while waiting).
+        self.granted_at: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay experienced by this request (post-grant only)."""
+        if self.granted_at is None:
+            raise EventStateError("request has not been granted yet")
+        return self.granted_at - self.enqueued_at
+
+    def release(self) -> None:
+        """Return the slot (or cancel the request if still queued)."""
+        self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """A multi-slot service station with a FIFO wait queue.
+
+    Parameters
+    ----------
+    env:
+        Owning simulator.
+    capacity:
+        Number of concurrent holders (≥ 1). File servers in the cluster
+        model use ``capacity=1`` (a single metadata service thread), which
+        matches the paper's FIFO single-queue servers.
+    """
+
+    def __init__(self, env: Any, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._holders: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Join the queue; the returned event fires when a slot is granted."""
+        req = Request(self)
+        if len(self._holders) < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    # ------------------------------------------------------------------ #
+    def _grant(self, req: Request) -> None:
+        self._holders.append(req)
+        req.granted_at = self.env.now
+        req.succeed(req)
+
+    def _release(self, req: Request) -> None:
+        if req in self._holders:
+            self._holders.remove(req)
+            while self._waiting and len(self._holders) < self.capacity:
+                nxt = self._waiting.popleft()
+                if nxt._state == EventState.PENDING:
+                    self._grant(nxt)
+        else:
+            # Cancellation of a queued (or already-released) request.
+            try:
+                self._waiting.remove(req)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"<Resource in_use={self.in_use}/{self.capacity} queued={self.queue_length}>"
+
+
+class Store:
+    """Unbounded FIFO buffer of Python objects (message-queue primitive).
+
+    ``put`` never blocks. ``get`` returns an event that fires with the
+    oldest item, immediately if one is available.
+    """
+
+    def __init__(self, env: Any) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest pending getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter._state == EventState.PENDING:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (FIFO)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def drain(self) -> List[Any]:
+        """Remove and return all buffered items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items

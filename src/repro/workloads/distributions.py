@@ -1,0 +1,88 @@
+"""Random-variate helpers for workload generation.
+
+The synthetic workload of §5.1 needs: uniform file-set weights
+(``X ~ U[1,10]``), heavy-tailed Pareto inter-arrival times, and
+per-request service demands. The trace-shaped workload adds Zipf
+file-set popularity. All draws are vectorized NumPy against explicit
+``Generator`` streams so every workload is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pareto_gaps",
+    "arrival_times_from_gaps",
+    "zipf_weights",
+    "lognormal_work",
+]
+
+
+def pareto_gaps(rng: np.random.Generator, n: int, alpha: float) -> np.ndarray:
+    """``n`` Pareto-distributed gaps with shape ``alpha`` and scale 1.
+
+    Inverse-CDF sampling: ``xm * (1 - U)^(-1/alpha)`` with ``xm = 1``.
+    For ``1 < alpha < 2`` the distribution is heavy-tailed with finite
+    mean but infinite variance — the regime the paper's "governed by a
+    Pareto distribution that is heavy-tailed" implies. Gaps are later
+    rescaled to a target span, so the scale parameter is immaterial.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1 gaps, got {n}")
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for a finite mean, got {alpha}")
+    u = rng.random(n)
+    return (1.0 - u) ** (-1.0 / alpha)
+
+
+def arrival_times_from_gaps(
+    gaps: np.ndarray, duration: float, span_fraction: float = 0.99
+) -> np.ndarray:
+    """Turn raw gaps into arrival times spanning ``[g0, duration * span_fraction]``.
+
+    The cumulative sum of gaps is linearly rescaled so the last arrival
+    lands at ``duration * span_fraction``. Rescaling preserves the
+    *relative* burst structure (ratios of gaps), which is what makes the
+    workload bursty; only the absolute rate is pinned to produce the
+    requested request count in the requested duration.
+    """
+    if not 0 < span_fraction <= 1:
+        raise ValueError(f"span_fraction must be in (0, 1], got {span_fraction}")
+    cum = np.cumsum(gaps)
+    return cum * (duration * span_fraction / cum[-1])
+
+
+def zipf_weights(n: int, s: float = 1.0) -> np.ndarray:
+    """Normalized Zipf popularity weights ``w_i ∝ 1 / i^s`` for ranks 1..n.
+
+    Used by the trace-shaped workload: real file-system traces
+    (DFSTrace included) concentrate activity on a few hot subtrees.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if s < 0:
+        raise ValueError(f"Zipf exponent must be >= 0, got {s}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks**-s
+    return w / w.sum()
+
+
+def lognormal_work(
+    rng: np.random.Generator, n: int, mean: float, sigma: float = 0.25
+) -> np.ndarray:
+    """``n`` per-request service demands, lognormal with the given *mean*.
+
+    ``sigma`` is the shape in log space; ``mu`` is solved so that
+    ``E[X] = mean`` exactly (``mu = ln(mean) - sigma^2 / 2``). A small
+    sigma (default 0.25) models metadata operations: short and fairly
+    uniform, with mild variability.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean work must be > 0, got {mean}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return np.full(n, mean, dtype=np.float64)
+    mu = np.log(mean) - 0.5 * sigma * sigma
+    return rng.lognormal(mean=mu, sigma=sigma, size=n)

@@ -1,0 +1,149 @@
+"""Non-stationary workloads: hot spots that move mid-run.
+
+"Clusters must adapt to changing workloads and hot spots." (§3)
+
+The §5 evaluation uses stationary demand (each file set's rate is fixed
+for the whole run), which exercises adaptation to *server*
+heterogeneity only. :func:`generate_shifting` produces the missing
+stimulus: per-file-set popularity is re-drawn at a shift point, so a
+file set that was cold becomes hot (and vice versa) halfway through.
+A static placement — even a capacity-aware one — keeps the newly hot
+file set wherever history put it; an adaptive system must notice and
+re-home it. The hot-spot ablation bench measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.fileset import FileSet, FileSetCatalog
+from ..cluster.request import MetadataRequest
+from ..sim.rng import StreamRegistry
+from .calibrate import request_work_for_utilization
+from .distributions import arrival_times_from_gaps, lognormal_work, pareto_gaps
+from .synthetic import SyntheticConfig, Workload
+
+__all__ = ["ShiftConfig", "generate_shifting"]
+
+
+@dataclass(frozen=True)
+class ShiftConfig:
+    """Parameters of the shifting workload.
+
+    Attributes
+    ----------
+    base:
+        The stationary configuration each phase is generated from.
+    shift_at_fraction:
+        Where in the run the popularity re-draw happens (0..1).
+    hot_boost:
+        Phase-2 multiplier applied to a few chosen file sets' weights —
+        the "hot spot". The boosted sets are drawn from the *coldest*
+        phase-1 sets so the shift is maximally disruptive to static
+        placements.
+    n_hot:
+        Number of file sets boosted in phase 2.
+    """
+
+    base: SyntheticConfig = SyntheticConfig()
+    shift_at_fraction: float = 0.5
+    hot_boost: float = 8.0
+    n_hot: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shift_at_fraction < 1.0:
+            raise ValueError(
+                f"shift_at_fraction must be in (0,1): {self.shift_at_fraction}"
+            )
+        if self.hot_boost < 1.0:
+            raise ValueError(f"hot_boost must be >= 1: {self.hot_boost}")
+        if self.n_hot < 1:
+            raise ValueError(f"n_hot must be >= 1: {self.n_hot}")
+
+
+def _phase_requests(
+    names: List[str],
+    weights: np.ndarray,
+    n_requests: int,
+    t0: float,
+    duration: float,
+    mean_work: float,
+    cfg: SyntheticConfig,
+    registry: StreamRegistry,
+    tag: str,
+) -> Tuple[List[MetadataRequest], Dict[str, float], Dict[str, int]]:
+    """Generate one stationary phase offset to start at ``t0``."""
+    n_j = np.maximum(1, np.rint(n_requests * weights / weights.sum()).astype(int))
+    arrival_streams = registry.spawn(f"shift/{tag}/arrivals", len(names))
+    work_streams = registry.spawn(f"shift/{tag}/work", len(names))
+    span_rng = registry.stream(f"shift/{tag}/span")
+    requests: List[MetadataRequest] = []
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for j, name in enumerate(names):
+        n = int(n_j[j])
+        gaps = pareto_gaps(arrival_streams[j], n, cfg.pareto_alpha)
+        span = float(span_rng.uniform(0.95, 0.999))
+        arrivals = arrival_times_from_gaps(gaps, duration, span) + t0
+        works = lognormal_work(work_streams[j], n, mean_work, cfg.work_sigma)
+        for t, w in zip(arrivals, works):
+            requests.append(MetadataRequest(fileset=name, arrival=float(t), work=float(w)))
+        totals[name] = float(works.sum())
+        counts[name] = n
+    return requests, totals, counts
+
+
+def generate_shifting(
+    config: ShiftConfig = ShiftConfig(), seed: int = 0
+) -> Tuple[Workload, List[str]]:
+    """Generate the two-phase workload.
+
+    Returns ``(workload, hot_sets)`` where ``hot_sets`` are the file
+    sets boosted in phase 2 (so experiments can track their journey).
+    Total offered load stays at the base calibration in both phases —
+    only its *distribution over file sets* shifts.
+    """
+    cfg = config.base
+    registry = StreamRegistry(seed)
+    names = [f"/fs/{j:04d}" for j in range(cfg.n_filesets)]
+    x = registry.stream("shift/x").uniform(cfg.x_low, cfg.x_high, size=cfg.n_filesets)
+
+    t_shift = cfg.duration * config.shift_at_fraction
+    n1 = int(cfg.target_requests * config.shift_at_fraction)
+    n2 = cfg.target_requests - n1
+    mean_work = request_work_for_utilization(
+        cfg.target_requests, cfg.duration, cfg.total_capacity, cfg.utilization
+    )
+
+    # Phase 1: the plain X weights.
+    req1, tot1, cnt1 = _phase_requests(
+        names, x, n1, 0.0, t_shift, mean_work, cfg, registry, "p1"
+    )
+    # Phase 2: boost the coldest phase-1 sets into hot spots.
+    coldest = list(np.argsort(x)[: config.n_hot])
+    weights2 = x.copy()
+    weights2[coldest] *= config.hot_boost
+    req2, tot2, cnt2 = _phase_requests(
+        names, weights2, n2, t_shift, cfg.duration - t_shift, mean_work, cfg,
+        registry, "p2",
+    )
+
+    filesets = [
+        FileSet(
+            name=name,
+            total_work=tot1.get(name, 0.0) + tot2.get(name, 0.0),
+            n_requests=cnt1.get(name, 0) + cnt2.get(name, 0),
+        )
+        for name in names
+    ]
+    workload = Workload(
+        name=f"shifting(seed={seed})",
+        catalog=FileSetCatalog(filesets),
+        requests=req1 + req2,
+        duration=cfg.duration,
+    )
+    hot_sets = [names[i] for i in coldest]
+    return workload, hot_sets

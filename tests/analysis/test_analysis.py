@@ -1,0 +1,108 @@
+"""Balance bounds and statistical helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    anu_balance_bound,
+    bootstrap_mean_ci,
+    is_heavy_tailed,
+    mean_sem,
+    measure_balance,
+    pareto_tail_index,
+    simple_randomization_bound,
+)
+
+
+class TestBounds:
+    def test_anu_bound_formula(self):
+        assert anu_balance_bound(100, 10) == 11
+        assert anu_balance_bound(101, 10) == 12
+
+    def test_simple_bound_exceeds_anu_bound(self):
+        for n in (4, 16, 64):
+            m = 10 * n
+            assert simple_randomization_bound(m, n) > anu_balance_bound(m, n) - 1
+
+    def test_simple_bound_small_n(self):
+        assert simple_randomization_bound(10, 1) == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            anu_balance_bound(-1, 5)
+        with pytest.raises(ValueError):
+            anu_balance_bound(5, 0)
+
+
+class TestMeasuredBalance:
+    def test_multi_choice_beats_single_choice(self):
+        out = measure_balance(m=256, n=16, trials=5, d=2, seed=3)
+        mc_max = np.mean([s.max_load for s in out["multi"]])
+        single_max = np.mean([s.max_load for s in out["single"]])
+        assert mc_max <= single_max
+
+    def test_multi_choice_within_bound(self):
+        m, n = 256, 16
+        out = measure_balance(m=m, n=n, trials=5, d=2, seed=1)
+        bound = anu_balance_bound(m, n)
+        for sample in out["multi"]:
+            # w.h.p. bound with small slack for the finite-m regime
+            assert sample.max_load <= bound + 3
+
+    def test_loads_conserve_items(self):
+        out = measure_balance(m=100, n=10, trials=2, seed=0)
+        for scheme_samples in out.values():
+            for s in scheme_samples:
+                assert s.mean_load * s.n == pytest.approx(s.m)
+
+    def test_overshoot_property(self):
+        out = measure_balance(m=64, n=8, trials=1, seed=0)
+        s = out["uniform"][0]
+        assert s.overshoot == s.max_load - 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_balance(10, 2, trials=0)
+
+
+class TestStats:
+    def test_bootstrap_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=200)
+        ci = bootstrap_mean_ci(data, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(float(data.mean()))
+        assert ci.half_width > 0
+
+    def test_bootstrap_degenerate_inputs(self):
+        assert math.isnan(bootstrap_mean_ci([]).estimate)
+        one = bootstrap_mean_ci([5.0])
+        assert one.low == one.high == 5.0
+
+    def test_mean_sem(self):
+        mean, sem = mean_sem([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert sem == pytest.approx(1.0 / math.sqrt(3))
+        assert mean_sem([7.0]) == (7.0, 0.0)
+
+    def test_hill_estimator_recovers_alpha(self):
+        rng = np.random.default_rng(2)
+        u = rng.random(100_000)
+        samples = (1.0 - u) ** (-1.0 / 1.5)  # Pareto(1.5)
+        assert pareto_tail_index(samples, 0.01) == pytest.approx(1.5, rel=0.15)
+
+    def test_heavy_tail_classification(self):
+        rng = np.random.default_rng(3)
+        u = rng.random(50_000)
+        pareto15 = (1.0 - u) ** (-1.0 / 1.5)
+        assert is_heavy_tailed(pareto15)
+        exp = rng.exponential(1.0, size=50_000)
+        assert not is_heavy_tailed(exp)
+
+    def test_hill_needs_data(self):
+        with pytest.raises(ValueError):
+            pareto_tail_index([1.0, 2.0])

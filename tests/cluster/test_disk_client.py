@@ -1,0 +1,152 @@
+"""Shared disks, striping, the request driver, and the access client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AccessClient,
+    DiskArray,
+    FileServer,
+    MetadataRequest,
+    RequestDriver,
+    SharedDisk,
+)
+from repro.sim import Simulator
+
+
+class TestSharedDisk:
+    def test_read_takes_size_over_bandwidth(self, env):
+        disk = SharedDisk(env, 0, bandwidth=10.0)
+        done = []
+
+        def reader(env):
+            yield disk.read(50.0)
+            done.append(env.now)
+
+        env.process(reader(env))
+        env.run()
+        assert done == [5.0]
+
+    def test_fifo_queueing(self, env):
+        disk = SharedDisk(env, 0, bandwidth=1.0)
+        times = []
+
+        def reader(env, size):
+            yield disk.read(size)
+            times.append(env.now)
+
+        env.process(reader(env, 2.0))
+        env.process(reader(env, 3.0))
+        env.run()
+        assert times == [2.0, 5.0]
+
+    def test_utilization(self, env):
+        disk = SharedDisk(env, 0, bandwidth=1.0)
+
+        def reader(env):
+            yield disk.read(4.0)
+
+        env.process(reader(env))
+        env.run(until=10.0)
+        assert disk.utilization() == pytest.approx(0.4)
+
+    def test_bad_bandwidth(self, env):
+        with pytest.raises(ValueError):
+            SharedDisk(env, 0, bandwidth=0.0)
+
+
+class TestDiskArray:
+    def test_striping_parallelizes(self, env):
+        """A large read striped over 4 disks finishes ~4x faster."""
+        array = DiskArray(env, bandwidths=[10.0] * 4, stripe_unit=25.0)
+        done = []
+
+        def reader(env):
+            yield array.read(100.0)
+            done.append(env.now)
+
+        env.process(reader(env))
+        env.run()
+        assert done == [2.5]  # 25 units per disk at bw 10
+
+    def test_round_robin_balances(self, env):
+        array = DiskArray(env, bandwidths=[1.0] * 3, stripe_unit=1.0)
+
+        def reader(env):
+            yield array.read(9.0)
+
+        env.process(reader(env))
+        env.run()
+        utils = array.utilization()
+        assert max(utils) == pytest.approx(min(utils))
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            DiskArray(env, bandwidths=[])
+        with pytest.raises(ValueError):
+            DiskArray(env, bandwidths=[1.0], stripe_unit=0.0)
+
+
+class TestRequestDriver:
+    def test_replays_in_order_and_counts(self, env):
+        server = FileServer(env, "s", power=100.0)
+        schedule = [
+            MetadataRequest("/a", arrival=float(t), work=1.0) for t in range(5)
+        ]
+        driver = RequestDriver(env, schedule, route=lambda r: server)
+        env.run()
+        assert driver.submitted == 5
+        assert server.completed_requests == 5
+
+    def test_unsorted_schedule_rejected(self, env):
+        schedule = [
+            MetadataRequest("/a", arrival=2.0, work=1.0),
+            MetadataRequest("/a", arrival=1.0, work=1.0),
+        ]
+        with pytest.raises(ValueError):
+            RequestDriver(env, schedule, route=lambda r: None)
+
+    def test_route_none_drops(self, env):
+        schedule = [MetadataRequest("/a", arrival=0.0, work=1.0)]
+        driver = RequestDriver(env, schedule, route=lambda r: None)
+        env.run()
+        assert driver.dropped == 1 and driver.submitted == 0
+
+    def test_routing_sees_arrival_time_state(self, env):
+        """Routing decisions are taken at each request's arrival."""
+        s1 = FileServer(env, 1, power=100.0)
+        s2 = FileServer(env, 2, power=100.0)
+        flip_at = 5.0
+        route = lambda r: s2 if env.now >= flip_at else s1
+        schedule = [
+            MetadataRequest("/a", arrival=float(t), work=0.1) for t in range(10)
+        ]
+        RequestDriver(env, schedule, route)
+        env.run()
+        assert s1.completed_requests == 5
+        assert s2.completed_requests == 5
+
+
+class TestAccessClient:
+    def test_full_access_path(self, env):
+        server = FileServer(env, "s", power=2.0)
+        disks = DiskArray(env, bandwidths=[10.0, 10.0], stripe_unit=50.0)
+        client = AccessClient(env, route=lambda r: server, disks=disks)
+        client.access("/data", meta_work=2.0, data_size=100.0)
+        env.run()
+        # metadata 1.0s (work 2 / power 2) + data 5.0s (50 per disk @ 10)
+        assert client.access_latency.count == 1
+        assert client.access_latency.mean == pytest.approx(6.0)
+        assert client.metadata_share.mean == pytest.approx(1.0 / 6.0)
+
+    def test_metadata_blocking_underutilizes_san(self, env):
+        """The §3 motivation: a slow metadata tier starves the disks."""
+        slow = FileServer(env, "s", power=0.1)
+        fast_disks = DiskArray(env, bandwidths=[1000.0], stripe_unit=1000.0)
+        client = AccessClient(env, route=lambda r: slow, disks=fast_disks)
+        for _ in range(3):
+            client.access("/d", meta_work=1.0, data_size=10.0)
+        env.run()
+        assert client.metadata_share.mean > 0.9
+        assert fast_disks.utilization()[0] < 0.01

@@ -1,0 +1,95 @@
+"""FileSet catalog and MetadataRequest accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster import FileSet, FileSetCatalog, MetadataRequest
+
+
+class TestFileSet:
+    def test_mean_request_work(self):
+        fs = FileSet("/a", total_work=100.0, n_requests=40)
+        assert fs.mean_request_work == 2.5
+
+    def test_zero_requests(self):
+        fs = FileSet("/a", total_work=0.0, n_requests=0)
+        assert fs.mean_request_work == 0.0
+
+    def test_frozen(self):
+        fs = FileSet("/a", 1.0, 1)
+        with pytest.raises(AttributeError):
+            fs.total_work = 2.0  # type: ignore[misc]
+
+
+class TestCatalog:
+    def make(self):
+        return FileSetCatalog(
+            [
+                FileSet("/a", total_work=10.0, n_requests=10),
+                FileSet("/b", total_work=30.0, n_requests=20),
+                FileSet("/c", total_work=60.0, n_requests=70),
+            ]
+        )
+
+    def test_lookup_and_len(self):
+        cat = self.make()
+        assert len(cat) == 3
+        assert cat.get("/b").total_work == 30.0
+        assert "/b" in cat and "/z" not in cat
+
+    def test_totals(self):
+        cat = self.make()
+        assert cat.total_work == 100.0
+        assert cat.total_requests == 100
+
+    def test_work_share(self):
+        cat = self.make()
+        assert cat.work_share("/c") == pytest.approx(0.6)
+
+    def test_weights(self):
+        cat = self.make()
+        assert cat.weights() == {"/a": 10.0, "/b": 30.0, "/c": 60.0}
+
+    def test_iteration_order(self):
+        cat = self.make()
+        assert [fs.name for fs in cat] == ["/a", "/b", "/c"]
+        assert cat.names == ["/a", "/b", "/c"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FileSetCatalog([FileSet("/a", 1, 1), FileSet("/a", 2, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FileSetCatalog([])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            self.make().get("/nope")
+
+
+class TestRequest:
+    def test_latency_pending_is_nan(self):
+        r = MetadataRequest("/a", arrival=5.0, work=1.0)
+        assert not r.done
+        assert math.isnan(r.latency)
+        assert math.isnan(r.queue_delay)
+
+    def test_latency_after_completion(self):
+        r = MetadataRequest("/a", arrival=5.0, work=1.0)
+        r.service_start = 7.0
+        r.completion = 8.0
+        assert r.done
+        assert r.latency == 3.0
+        assert r.queue_delay == 2.0
+
+    def test_sort_by_arrival(self):
+        rs = [
+            MetadataRequest("/a", arrival=3.0, work=1.0),
+            MetadataRequest("/b", arrival=1.0, work=1.0),
+            MetadataRequest("/c", arrival=2.0, work=1.0),
+        ]
+        assert [r.fileset for r in sorted(rs)] == ["/b", "/c", "/a"]

@@ -1,0 +1,192 @@
+"""FileServer: FIFO service, heterogeneity, reporting, failure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster import CacheConfig, CacheModel, FileServer, MetadataRequest
+from repro.sim import Simulator
+
+
+def req(fileset="/a", arrival=0.0, work=1.0):
+    return MetadataRequest(fileset=fileset, arrival=arrival, work=work)
+
+
+class TestService:
+    def test_service_time_scales_with_power(self):
+        """Paper §5.1: power-9 server is 9x faster than power-1."""
+        latencies = {}
+        for power in (1.0, 9.0):
+            env = Simulator()
+            server = FileServer(env, "s", power)
+            r = req(work=9.0)
+            server.submit(r)
+            env.run()
+            latencies[power] = r.latency
+        assert latencies[1.0] == pytest.approx(9.0)
+        assert latencies[9.0] == pytest.approx(1.0)
+
+    def test_fifo_order_and_queueing_delay(self, env):
+        server = FileServer(env, "s", power=1.0)
+        rs = [req(work=2.0) for _ in range(3)]
+        for r in rs:
+            server.submit(r)
+        env.run()
+        assert [r.completion for r in rs] == [2.0, 4.0, 6.0]
+        assert [r.queue_delay for r in rs] == [0.0, 2.0, 4.0]
+
+    def test_requests_arriving_later_wait_correctly(self, env):
+        server = FileServer(env, "s", power=2.0)
+
+        def feed(env):
+            server.submit(req(arrival=env.now, work=4.0))  # 2s service
+            yield env.timeout(1.0)
+            r2 = req(arrival=env.now, work=4.0)
+            server.submit(r2)
+            return r2
+
+        p = env.process(feed(env))
+        env.run()
+        r2 = p.value
+        assert r2.completion == pytest.approx(4.0)  # waits until t=2
+        assert r2.latency == pytest.approx(3.0)
+
+    def test_busy_time_and_utilization(self, env):
+        server = FileServer(env, "s", power=1.0)
+        server.submit(req(work=3.0))
+        env.run(until=10.0)
+        assert server.busy_time == pytest.approx(3.0)
+        assert server.utilization(10.0) == pytest.approx(0.3)
+
+    def test_on_complete_hook(self, env):
+        server = FileServer(env, "s", power=1.0)
+        done = []
+        r = req(work=1.0)
+        r.on_complete = lambda rq: done.append(rq.completion)
+        server.submit(r)
+        env.run()
+        assert done == [1.0]
+
+    def test_bad_power_rejected(self, env):
+        with pytest.raises(ValueError):
+            FileServer(env, "s", power=0.0)
+
+
+class TestReporting:
+    def test_interval_report_means_window_only(self, env):
+        server = FileServer(env, "s", power=1.0)
+        server.submit(req(work=2.0))
+        env.run(until=100.0)
+        rep1 = server.interval_report()
+        assert rep1.mean_latency == pytest.approx(2.0)
+        assert rep1.request_count == 1
+        # nothing in second window
+        env.run(until=200.0)
+        rep2 = server.interval_report()
+        assert rep2.is_idle and math.isnan(rep2.mean_latency)
+        assert rep2.idle_rounds == 1
+
+    def test_prev_latency_propagates(self, env):
+        server = FileServer(env, "s", power=1.0)
+        server.submit(req(work=2.0))
+        env.run(until=10.0)
+        rep1 = server.interval_report()
+        assert math.isnan(rep1.prev_mean_latency)
+        server.submit(req(arrival=env.now, work=4.0))
+        env.run(until=20.0)
+        rep2 = server.interval_report()
+        assert rep2.prev_mean_latency == pytest.approx(rep1.mean_latency)
+
+    def test_idle_rounds_accumulate_and_reset(self, env):
+        server = FileServer(env, "s", power=1.0)
+        env.run(until=10.0)
+        assert server.interval_report().idle_rounds == 1
+        env.run(until=20.0)
+        assert server.interval_report().idle_rounds == 2
+        server.submit(req(arrival=env.now, work=1.0))
+        env.run(until=30.0)
+        assert server.interval_report().idle_rounds == 0
+
+    def test_latency_series_records_each_window(self, env):
+        server = FileServer(env, "s", power=1.0)
+        for t in (10.0, 20.0, 30.0):
+            env.run(until=t)
+            server.interval_report()
+        assert len(server.latency_series) == 3
+
+    def test_drain_fileset_work(self, env):
+        server = FileServer(env, "s", power=1.0)
+        server.submit(req(fileset="/a", work=2.0))
+        server.submit(req(fileset="/a", work=1.0))
+        server.submit(req(fileset="/b", work=4.0))
+        env.run()
+        work = server.drain_fileset_work()
+        assert work == {"/a": 3.0, "/b": 4.0}
+        assert server.drain_fileset_work() == {}
+
+
+class TestCacheIntegration:
+    def test_cold_fileset_served_slower(self, env):
+        cache = CacheModel(CacheConfig(cold_factor=2.0, warmup_time=100.0))
+        server = FileServer(env, "t", power=1.0, cache=cache)
+        cache.on_shed("/m", source="s", target="t", now=0.0, mean_request_work=1.0)
+        r = req(fileset="/m", work=3.0)
+        server.submit(r)
+        env.run()
+        assert r.latency == pytest.approx(6.0)  # 2x work
+
+    def test_flush_blocks_queue(self, env):
+        server = FileServer(env, "s", power=1.0)
+        server.charge_flush(5.0)
+        r = req(work=1.0)
+        server.submit(r)
+        env.run()
+        assert r.completion == pytest.approx(6.0)
+
+
+class TestFailure:
+    def test_fail_drains_queue(self, env):
+        server = FileServer(env, "s", power=1.0)
+
+        def feed(env):
+            for _ in range(3):
+                server.submit(req(arrival=env.now, work=100.0))
+            yield env.timeout(1.0)
+
+        env.process(feed(env))
+        env.run(until=2.0)
+        orphans = server.fail()
+        assert len(orphans) == 2  # one was in service, lost
+        assert server.failed
+
+    def test_submit_to_failed_server_rejected(self, env):
+        server = FileServer(env, "s", power=1.0)
+        env.run(until=1.0)
+        server.fail()
+        with pytest.raises(RuntimeError):
+            server.submit(req())
+
+    def test_recover_resumes_service(self, env):
+        server = FileServer(env, "s", power=1.0)
+        env.run(until=1.0)
+        server.fail()
+        server.recover()
+        r = req(arrival=env.now, work=2.0)
+        server.submit(r)
+        env.run()
+        assert r.done
+        assert r.latency == pytest.approx(2.0)
+
+    def test_double_fail_rejected(self, env):
+        server = FileServer(env, "s", power=1.0)
+        env.run(until=1.0)
+        server.fail()
+        with pytest.raises(RuntimeError):
+            server.fail()
+
+    def test_recover_unfailed_rejected(self, env):
+        server = FileServer(env, "s", power=1.0)
+        with pytest.raises(RuntimeError):
+            server.recover()

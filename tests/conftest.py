@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.cache import CacheConfig
+from repro.sim import Simulator
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+#: The paper's heterogeneous cluster.
+PAPER_POWERS = {0: 1.0, 1: 3.0, 2: 5.0, 3: 7.0, 4: 9.0}
+
+
+@pytest.fixture
+def env():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def powers():
+    """The paper's five-server power map (copy; tests may mutate)."""
+    return dict(PAPER_POWERS)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A small but non-trivial synthetic workload (shared, read-only).
+
+    Tests must not mutate its request objects; use
+    ``repro.experiments.runner._fresh_workload`` for runs.
+    """
+    cfg = SyntheticConfig(
+        n_filesets=20,
+        duration=1200.0,
+        target_requests=3000,
+        total_capacity=25.0,
+    )
+    return generate_synthetic(cfg, seed=7)
+
+
+@pytest.fixture
+def cluster_config(powers):
+    """Default cluster config over the paper's powers."""
+    return ClusterConfig(server_powers=powers)
+
+
+@pytest.fixture
+def no_cache_config(powers):
+    """Cluster config with cache effects disabled."""
+    return ClusterConfig(
+        server_powers=powers,
+        cache=CacheConfig(flush_work_scale=0.0, cold_factor=1.0, warmup_time=0.0),
+    )

@@ -1,0 +1,35 @@
+"""The experiments CLI (python -m repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_single_figure(self, capsys):
+        rc = main(["--figure", "fig7", "--scale", "0.05", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "total file-set moves" in out
+
+    def test_all_figures(self, capsys):
+        rc = main(["--all", "--scale", "0.03", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for fig in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert fig in out
+
+    def test_figure_and_all_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig5", "--all"])
+
+    def test_requires_a_mode(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig99"])

@@ -1,0 +1,68 @@
+"""CSV export of figure data."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments import export
+from repro.experiments.figures import fig5, fig7, fig8
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def fig5_data():
+    return fig5.run(seed=3, scale=SCALE)
+
+
+class TestWriteCsv:
+    def test_basic_write_and_comment(self, tmp_path):
+        path = export.write_csv(
+            tmp_path / "t.csv", ["a", "b"], [[1, 2], [3, 4]], comment="meta"
+        )
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# meta"
+        assert lines[1] == "a,b"
+        assert lines[2:] == ["1,2", "3,4"]
+
+    def test_creates_directories(self, tmp_path):
+        path = export.write_csv(tmp_path / "x" / "y" / "t.csv", ["h"], [[1]])
+        assert path.exists()
+
+
+class TestFigureExports:
+    def test_fig5_one_file_per_system(self, fig5_data, tmp_path):
+        paths = export.export_fig5(fig5_data, tmp_path)
+        assert len(paths) == 4
+        for path in paths:
+            with open(path) as fh:
+                rows = list(csv.reader(r for r in fh if not r.startswith("#")))
+            header, body = rows[0], rows[1:]
+            assert header[0] == "time_s"
+            assert len(header) == 6  # time + 5 servers
+            assert body, path
+
+    def test_fig7_columns(self, fig5_data, tmp_path):
+        data7 = fig7.run(fig5=fig5_data)
+        path = export.export_fig7(data7, tmp_path)
+        with open(path) as fh:
+            rows = list(csv.reader(r for r in fh if not r.startswith("#")))
+        assert rows[0] == [
+            "round",
+            "moves",
+            "cumulative_moves",
+            "cumulative_workload_moved_pct",
+        ]
+        # cumulative column is nondecreasing
+        cums = [int(r[2]) for r in rows[1:]]
+        assert cums == sorted(cums)
+
+    def test_fig8_rows(self, tmp_path):
+        data8 = fig8.run(seed=3, scale=SCALE, sweep=(5, 50))
+        path = export.export_fig8(data8, tmp_path)
+        with open(path) as fh:
+            rows = list(csv.reader(r for r in fh if not r.startswith("#")))
+        systems = [r[0] for r in rows[1:]]
+        assert systems == ["vp5", "vp50", "anu", "prescient"]

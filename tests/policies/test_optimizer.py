@@ -1,0 +1,101 @@
+"""The prescient assignment optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies import balance_items, estimated_average_latency
+
+
+POWERS = {0: 1.0, 1: 3.0, 2: 5.0, 3: 7.0, 4: 9.0}
+
+
+def loads_of(assignment, items):
+    loads = {sid: 0.0 for sid in POWERS}
+    for name, sid in assignment.items():
+        loads[sid] += items[name]
+    return loads
+
+
+class TestObjective:
+    def test_empty_loads_zero(self):
+        assert estimated_average_latency({0: 0.0}, {0: 1.0}) == 0.0
+
+    def test_balanced_beats_skewed(self):
+        powers = {0: 1.0, 1: 1.0}
+        balanced = {0: 0.4, 1: 0.4}
+        skewed = {0: 0.75, 1: 0.05}
+        assert estimated_average_latency(balanced, powers) < estimated_average_latency(
+            skewed, powers
+        )
+
+    def test_overload_penalized_monotonically(self):
+        powers = {0: 1.0}
+        vals = [
+            estimated_average_latency({0: rho}, powers)
+            for rho in (0.5, 0.9, 1.0, 1.5, 3.0)
+        ]
+        assert vals == sorted(vals)
+
+    def test_faster_server_lower_latency_at_equal_rho(self):
+        assert estimated_average_latency({0: 0.5}, {0: 1.0}) > \
+            estimated_average_latency({0: 4.5}, {0: 9.0})
+
+
+class TestBalanceItems:
+    def test_respects_capacity_ordering(self):
+        items = {f"i{k}": 1.0 for k in range(50)}
+        assignment = balance_items(items, POWERS, interval=10.0)
+        loads = loads_of(assignment, items)
+        # More powerful servers shoulder at least as much load.
+        assert loads[4] >= loads[2] >= loads[0]
+
+    def test_every_item_assigned_to_live_server(self):
+        items = {f"i{k}": float(k + 1) for k in range(20)}
+        assignment = balance_items(items, POWERS)
+        assert set(assignment) == set(items)
+        assert all(sid in POWERS for sid in assignment.values())
+
+    def test_warm_start_preserved_when_already_optimal(self):
+        items = {f"i{k}": 1.0 for k in range(30)}
+        first = balance_items(items, POWERS, interval=10.0)
+        second = balance_items(items, POWERS, interval=10.0, current=first)
+        assert second == first  # no gratuitous churn
+
+    def test_items_on_dead_servers_are_replaced(self):
+        items = {"a": 1.0, "b": 1.0}
+        current = {"a": 99, "b": 0}  # server 99 no longer exists
+        assignment = balance_items(items, POWERS, current=current)
+        assert assignment["a"] in POWERS
+
+    def test_zero_work_items_stay_put(self):
+        items = {"hot": 10.0, "coldA": 0.0, "coldB": 0.0}
+        current = {"hot": 0, "coldA": 1, "coldB": 2}
+        assignment = balance_items(items, POWERS, current=current)
+        assert assignment["coldA"] == 1
+        assert assignment["coldB"] == 2
+
+    def test_deterministic(self):
+        items = {f"i{k}": float((k * 7) % 5 + 1) for k in range(40)}
+        a = balance_items(items, POWERS, interval=10.0)
+        b = balance_items(items, POWERS, interval=10.0)
+        assert a == b
+
+    def test_beats_uniform_assignment(self):
+        """The optimizer's objective must beat a round-robin spread."""
+        items = {f"i{k}": float((k % 7) + 1) for k in range(35)}
+        interval = 10.0
+        opt = balance_items(items, POWERS, interval=interval)
+        rr = {name: list(POWERS)[i % 5] for i, name in enumerate(items)}
+        assert estimated_average_latency(
+            loads_of(opt, items), POWERS, interval
+        ) <= estimated_average_latency(loads_of(rr, items), POWERS, interval)
+
+    def test_no_servers_rejected(self):
+        with pytest.raises(ValueError):
+            balance_items({"a": 1.0}, {})
+
+    def test_single_server_takes_all(self):
+        items = {"a": 1.0, "b": 2.0}
+        assignment = balance_items(items, {7: 5.0})
+        assert set(assignment.values()) == {7}

@@ -1,0 +1,78 @@
+"""Property-based tests of the simulation kernel (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+
+class TestCalendarProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        env = Simulator()
+        fired = []
+        for d in delays:
+            ev = env.timeout(d)
+            ev.callbacks.append(lambda e, d=d: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert env.now == max(delays)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_is_a_clean_cut(self, delays, horizon):
+        env = Simulator()
+        fired = []
+        for d in delays:
+            ev = env.timeout(d)
+            ev.callbacks.append(lambda e, d=d: fired.append(d))
+        env.run(until=horizon)
+        assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+        assert env.now == horizon
+        # the rest still fire on a later run
+        env.run()
+        assert sorted(fired) == sorted(delays)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_process_interleaving_is_deterministic(self, spec):
+        def trace():
+            env = Simulator()
+            log = []
+
+            def worker(env, wid, delay):
+                for i in range(3):
+                    yield env.timeout(delay)
+                    log.append((wid, i, round(env.now, 9)))
+
+            for wid, delay in spec:
+                env.process(worker(env, wid, delay))
+            env.run()
+            return log
+
+        assert trace() == trace()

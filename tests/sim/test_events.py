@@ -1,0 +1,118 @@
+"""Event life cycle, composites, and the calendar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Event, EventQueue, EventState, EventStateError, Simulator
+
+
+class TestEventLifeCycle:
+    def test_initial_state(self, env):
+        ev = env.event()
+        assert ev.state == EventState.PENDING
+        assert not ev.triggered and not ev.processed
+
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+        got = []
+        ev.callbacks.append(lambda e: got.append(e.value))
+        ev.succeed(41)
+        env.run()
+        assert got == [41]
+        assert ev.processed and ev.ok
+
+    def test_succeed_twice_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(EventStateError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_unhandled_failure_surfaces(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        ev.defuse()
+        env.run()  # no raise
+        assert ev.processed and not ev.ok
+
+    def test_event_without_env_cannot_trigger(self):
+        ev = Event(env=None)
+        with pytest.raises(EventStateError):
+            ev.succeed()
+
+
+class TestComposites:
+    def test_all_of_waits_for_all(self, env):
+        a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+        combo = env.all_of([a, b])
+        fired_at = []
+        combo.callbacks.append(lambda e: fired_at.append(env.now))
+        env.run()
+        assert fired_at == [3.0]
+
+    def test_any_of_fires_on_first(self, env):
+        a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+        combo = env.any_of([a, b])
+        fired_at = []
+        combo.callbacks.append(lambda e: fired_at.append(env.now))
+        env.run()
+        assert fired_at == [1.0]
+
+    def test_empty_all_of_fires_immediately(self, env):
+        combo = env.all_of([])
+        env.run()
+        assert combo.processed
+
+    def test_all_of_value_maps_children(self, env):
+        a, b = env.timeout(1.0, "x"), env.timeout(2.0, "y")
+        combo = env.all_of([a, b])
+        env.run()
+        assert set(combo.value.values()) == {"x", "y"}
+
+    def test_all_of_propagates_failure(self, env):
+        a = env.timeout(1.0)
+        bad = env.event()
+        combo = env.all_of([a, bad])
+        combo.defuse()
+        bad.fail(ValueError("child failed"))
+        env.run()
+        assert not combo.ok
+        assert isinstance(combo.value, ValueError)
+
+
+class TestEventQueue:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert len(q) == 0 and not q
+        q.push(1.0, Event(None))
+        assert len(q) == 1 and q
+
+    def test_pop_order_is_time_then_priority_then_seq(self):
+        q = EventQueue()
+        e1, e2, e3 = Event(None), Event(None), Event(None)
+        q.push(2.0, e1)
+        q.push(1.0, e2)
+        q.push(1.0, e3, priority=EventQueue.URGENT)
+        order = [q.pop()[3] for _ in range(3)]
+        assert order == [e3, e2, e1]
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, Event(None))
+        q.clear()
+        assert not q
+
+    def test_peek_time_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()

@@ -1,0 +1,106 @@
+"""Tally and TimeSeries statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Tally, TimeSeries
+
+
+class TestTally:
+    def test_empty_stats_are_nan(self):
+        t = Tally()
+        assert math.isnan(t.mean) and math.isnan(t.std)
+        assert math.isnan(t.minimum) and math.isnan(t.maximum)
+        assert t.count == 0
+
+    def test_mean_variance_match_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.exponential(2.0, size=500)
+        t = Tally()
+        t.observe_many(data)
+        assert t.count == 500
+        assert t.mean == pytest.approx(float(data.mean()), rel=1e-12)
+        assert t.variance == pytest.approx(float(data.var(ddof=1)), rel=1e-9)
+        assert t.minimum == float(data.min())
+        assert t.maximum == float(data.max())
+
+    def test_single_observation(self):
+        t = Tally()
+        t.observe(5.0)
+        assert t.mean == 5.0
+        assert math.isnan(t.variance)
+
+    def test_percentile_requires_keep(self):
+        t = Tally(keep=False)
+        t.observe(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(50)
+
+    def test_percentile_and_samples(self):
+        t = Tally(keep=True)
+        t.observe_many(range(101))
+        assert t.percentile(50) == 50.0
+        assert t.samples.shape == (101,)
+
+    def test_reset(self):
+        t = Tally(keep=True)
+        t.observe_many([1, 2, 3])
+        t.reset()
+        assert t.count == 0
+        assert t.samples.size == 0
+
+
+class TestTimeSeries:
+    def test_record_and_arrays(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+        np.testing.assert_allclose(ts.times(), [0.0, 1.0])
+        np.testing.assert_allclose(ts.values(), [1.0, 2.0])
+
+    def test_nondecreasing_enforced(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_window(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t * 10))
+        times, values = ts.window(2.0, 5.0)
+        np.testing.assert_allclose(times, [2.0, 3.0, 4.0])
+        np.testing.assert_allclose(values, [20.0, 30.0, 40.0])
+
+    def test_window_mean_empty_is_nan(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        assert math.isnan(ts.window_mean(5.0, 6.0))
+
+    def test_resample_means_per_bucket(self):
+        ts = TimeSeries()
+        for t in range(6):
+            ts.record(float(t), float(t))
+        out = ts.resample([0.0, 3.0, 6.0])
+        np.testing.assert_allclose(out, [1.0, 4.0])
+
+    def test_resample_empty_bucket_is_nan(self):
+        ts = TimeSeries()
+        ts.record(0.5, 7.0)
+        out = ts.resample([0.0, 1.0, 2.0])
+        assert out[0] == 7.0 and math.isnan(out[1])
+
+    def test_resample_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            TimeSeries().resample([1.0])
+
+    def test_last(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        ts.record(2.0, 20.0)
+        assert ts.last() == (2.0, 20.0)

@@ -1,0 +1,171 @@
+"""Process semantics: yielding, returning, interrupting, failing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EventStateError, Interrupt, ProcessError, Simulator
+
+
+class TestBasics:
+    def test_sequential_timeouts(self, env):
+        log = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_timeout_value_sent_back(self, env):
+        got = []
+
+        def proc(env):
+            v = yield env.timeout(1.0, value="payload")
+            got.append(v)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_process_is_event_with_return_value(self, env):
+        def child(env):
+            yield env.timeout(2.0)
+            return "result"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            assert value == "result"
+            assert env.now == 2.0
+            return "done"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.processed and p.value == "done"
+
+    def test_waiting_on_finished_process(self, env):
+        def child(env):
+            yield env.timeout(1.0)
+            return 99
+
+        def parent(env, child_proc):
+            yield env.timeout(5.0)  # child finished long ago
+            v = yield child_proc
+            assert v == 99
+            assert env.now == 5.0
+
+        c = env.process(child(env))
+        env.process(parent(env, c))
+        env.run()
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(ProcessError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc(env):
+            yield 42
+
+        p = env.process(proc(env))
+        p.defuse()
+        env.run()
+        assert not p.ok
+        assert isinstance(p.value, ProcessError)
+
+    def test_exception_in_process_fails_it(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("inside")
+
+        p = env.process(proc(env))
+        p.defuse()
+        env.run()
+        assert not p.ok and isinstance(p.value, ValueError)
+
+    def test_is_alive(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def proc(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                causes.append((env.now, i.cause))
+
+        p = env.process(proc(env))
+
+        def killer(env):
+            yield env.timeout(2.0)
+            p.interrupt("reconfigure")
+
+        env.process(killer(env))
+        env.run()
+        assert causes == [(2.0, "reconfigure")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def proc(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        p = env.process(proc(env))
+        env.schedule_at(5.0, lambda: p.interrupt())
+        env.run()
+        assert log == [6.0]
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def proc(env):
+            yield env.timeout(100.0)
+
+        p = env.process(proc(env))
+        p.defuse()
+        env.schedule_at(1.0, lambda: p.interrupt())
+        env.run()
+        assert not p.ok and isinstance(p.value, Interrupt)
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        env.run()
+        with pytest.raises(EventStateError):
+            p.interrupt()
+
+    def test_interrupt_detaches_from_target(self, env):
+        """After an interrupt, the original target firing must not resume
+        the process a second time."""
+        resumed = []
+
+        def proc(env):
+            try:
+                yield env.timeout(10.0)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+                yield env.timeout(20.0)
+                resumed.append("after")
+
+        p = env.process(proc(env))
+        env.schedule_at(1.0, lambda: p.interrupt())
+        env.run()
+        assert resumed == ["interrupt", "after"]

@@ -1,0 +1,167 @@
+"""Resource (FIFO station) and Store (FIFO buffer) semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Resource, Simulator, SimulationError, Store
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self, env):
+        r = Resource(env, capacity=1)
+        req = r.request()
+        env.run()
+        assert req.processed and r.in_use == 1
+
+    def test_fifo_service_order(self, env):
+        r = Resource(env, capacity=1)
+        order = []
+
+        def user(env, uid, hold):
+            with r.request() as req:
+                yield req
+                order.append(uid)
+                yield env.timeout(hold)
+
+        for uid in range(5):
+            env.process(user(env, uid, 1.0))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_capacity_respected(self, env):
+        r = Resource(env, capacity=2)
+        concurrent = []
+
+        def user(env):
+            with r.request() as req:
+                yield req
+                concurrent.append(r.in_use)
+                yield env.timeout(1.0)
+
+        for _ in range(6):
+            env.process(user(env))
+        env.run()
+        assert max(concurrent) <= 2
+
+    def test_release_admits_next(self, env):
+        r = Resource(env, capacity=1)
+        log = []
+
+        def user(env, uid):
+            with r.request() as req:
+                yield req
+                log.append((uid, env.now))
+                yield env.timeout(2.0)
+
+        env.process(user(env, "a"))
+        env.process(user(env, "b"))
+        env.run()
+        assert log == [("a", 0.0), ("b", 2.0)]
+
+    def test_wait_time_accounting(self, env):
+        r = Resource(env, capacity=1)
+        waits = []
+
+        def user(env, hold):
+            with r.request() as req:
+                yield req
+                waits.append(req.wait_time)
+                yield env.timeout(hold)
+
+        env.process(user(env, 3.0))
+        env.process(user(env, 1.0))
+        env.run()
+        assert waits == [0.0, 3.0]
+
+    def test_queue_length(self, env):
+        r = Resource(env, capacity=1)
+
+        def holder(env):
+            with r.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        env.process(holder(env))
+        env.run(until=1.0)
+        r.request()
+        r.request()
+        assert r.queue_length == 2
+
+    def test_cancel_queued_request(self, env):
+        r = Resource(env, capacity=1)
+
+        def holder(env):
+            with r.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        env.process(holder(env))
+        env.run(until=1.0)
+        queued = r.request()
+        assert r.queue_length == 1
+        queued.release()  # cancel before grant
+        assert r.queue_length == 0
+
+    def test_bad_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        s = Store(env)
+        s.put("x")
+        ev = s.get()
+        env.run()
+        assert ev.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        s = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield s.get()
+            got.append((item, env.now))
+
+        env.process(consumer(env))
+        env.schedule_at(4.0, lambda: s.put("late"))
+        env.run()
+        assert got == [("late", 4.0)]
+
+    def test_fifo_order(self, env):
+        s = Store(env)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield s.get()
+                got.append(item)
+
+        env.process(consumer(env))
+        for item in ("a", "b", "c"):
+            s.put(item)
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_multiple_getters_fifo(self, env):
+        s = Store(env)
+        got = []
+
+        def consumer(env, cid):
+            item = yield s.get()
+            got.append((cid, item))
+
+        env.process(consumer(env, 0))
+        env.process(consumer(env, 1))
+        env.schedule_at(1.0, lambda: s.put("first"))
+        env.schedule_at(2.0, lambda: s.put("second"))
+        env.run()
+        assert got == [(0, "first"), (1, "second")]
+
+    def test_drain(self, env):
+        s = Store(env)
+        for i in range(4):
+            s.put(i)
+        assert s.drain() == [0, 1, 2, 3]
+        assert len(s) == 0

@@ -1,0 +1,55 @@
+"""The workload CLI (python -m repro.workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import load_trace
+from repro.workloads.__main__ import main
+
+
+class TestGenerate:
+    def test_synthetic_generate_and_reload(self, tmp_path, capsys):
+        out = tmp_path / "w.trc"
+        rc = main(
+            ["generate", "--kind", "synthetic", "--seed", "5", "--scale", "0.02",
+             "-o", str(out)]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        wl = load_trace(out)
+        assert len(wl.catalog) == 50
+        assert len(wl) > 500
+
+    def test_trace_generate(self, tmp_path, capsys):
+        out = tmp_path / "t.trc"
+        rc = main(
+            ["generate", "--kind", "trace", "--seed", "2", "--scale", "0.01",
+             "-o", str(out)]
+        )
+        assert rc == 0
+        wl = load_trace(out)
+        assert len(wl.catalog) == 21
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.trc", tmp_path / "b.trc"
+        for out in (a, b):
+            main(["generate", "--seed", "9", "--scale", "0.01", "-o", str(out)])
+        assert a.read_text() == b.read_text()
+
+
+class TestInspect:
+    def test_inspect_reports_aggregates(self, tmp_path, capsys):
+        out = tmp_path / "w.trc"
+        main(["generate", "--seed", "1", "--scale", "0.02", "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["inspect", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "requests:" in text
+        assert "hottest file sets" in text
+        assert "file sets: 50" in text
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,105 @@
+"""Workload distribution primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import pareto_tail_index
+from repro.workloads import (
+    arrival_times_from_gaps,
+    lognormal_work,
+    pareto_gaps,
+    zipf_weights,
+)
+
+
+class TestParetoGaps:
+    def test_positive_and_count(self):
+        rng = np.random.default_rng(0)
+        gaps = pareto_gaps(rng, 1000, alpha=1.5)
+        assert gaps.shape == (1000,)
+        assert (gaps >= 1.0).all()  # scale xm = 1
+
+    def test_tail_index_matches_alpha(self):
+        rng = np.random.default_rng(1)
+        gaps = pareto_gaps(rng, 200_000, alpha=1.5)
+        est = pareto_tail_index(gaps, tail_fraction=0.01)
+        assert est == pytest.approx(1.5, rel=0.15)
+
+    def test_heavier_alpha_means_heavier_tail(self):
+        rng = np.random.default_rng(2)
+        heavy = pareto_gaps(np.random.default_rng(2), 50_000, alpha=1.2)
+        light = pareto_gaps(np.random.default_rng(2), 50_000, alpha=2.5)
+        assert heavy.max() > light.max()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            pareto_gaps(rng, 0, 1.5)
+        with pytest.raises(ValueError):
+            pareto_gaps(rng, 10, 1.0)
+
+
+class TestArrivalTimes:
+    def test_span_and_monotone(self):
+        rng = np.random.default_rng(3)
+        gaps = pareto_gaps(rng, 500, 1.5)
+        arrivals = arrival_times_from_gaps(gaps, duration=1000.0, span_fraction=0.95)
+        assert (np.diff(arrivals) > 0).all()
+        assert arrivals[-1] == pytest.approx(950.0)
+        assert arrivals[0] > 0
+
+    def test_burst_structure_preserved(self):
+        """Rescaling preserves gap ratios exactly."""
+        gaps = np.array([1.0, 10.0, 1.0, 1.0])
+        arrivals = arrival_times_from_gaps(gaps, duration=130.0, span_fraction=1.0)
+        rescaled_gaps = np.diff(np.concatenate([[0.0], arrivals]))
+        ratios = rescaled_gaps / gaps
+        assert np.allclose(ratios, ratios[0])
+
+    def test_bad_span(self):
+        with pytest.raises(ValueError):
+            arrival_times_from_gaps(np.ones(3), 10.0, span_fraction=0.0)
+
+
+class TestZipf:
+    def test_normalized_and_decreasing(self):
+        w = zipf_weights(20, s=1.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) < 0).all()
+
+    def test_s_zero_is_uniform(self):
+        w = zipf_weights(10, s=0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_larger_s_more_skew(self):
+        flat = zipf_weights(10, 0.5)
+        steep = zipf_weights(10, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, s=-1.0)
+
+
+class TestLognormalWork:
+    def test_mean_matches_target(self):
+        rng = np.random.default_rng(4)
+        works = lognormal_work(rng, 100_000, mean=2.5, sigma=0.25)
+        assert works.mean() == pytest.approx(2.5, rel=0.02)
+        assert (works > 0).all()
+
+    def test_sigma_zero_is_constant(self):
+        rng = np.random.default_rng(0)
+        works = lognormal_work(rng, 10, mean=3.0, sigma=0.0)
+        assert np.allclose(works, 3.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            lognormal_work(rng, 10, mean=0.0)
+        with pytest.raises(ValueError):
+            lognormal_work(rng, 10, mean=1.0, sigma=-0.1)

@@ -1,0 +1,151 @@
+"""Synthetic and trace-shaped workload generators + calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SyntheticConfig,
+    TraceConfig,
+    generate_synthetic,
+    generate_trace_shaped,
+    offered_utilization,
+    request_work_for_utilization,
+    scaling_factor_c,
+    weakest_server_overloaded,
+)
+
+
+class TestSyntheticGenerator:
+    def test_paper_scale_aggregates(self):
+        wl = generate_synthetic(SyntheticConfig(), seed=0)
+        # "66,401 requests against 50 file sets in ... two hundred minutes"
+        assert len(wl.catalog) == 50
+        assert abs(len(wl) - 66_401) < 300  # rounding of per-set budgets
+        assert wl.duration == 12_000.0
+        assert all(r.arrival < wl.duration for r in wl.requests)
+
+    def test_utilization_calibrated(self):
+        cfg = SyntheticConfig(utilization=0.6, total_capacity=25.0)
+        wl = generate_synthetic(cfg, seed=0)
+        assert offered_utilization(wl, 25.0) == pytest.approx(0.6, rel=0.02)
+
+    def test_deterministic_in_seed(self):
+        a = generate_synthetic(SyntheticConfig(n_filesets=5, target_requests=500), seed=9)
+        b = generate_synthetic(SyntheticConfig(n_filesets=5, target_requests=500), seed=9)
+        assert len(a) == len(b)
+        assert all(
+            ra.arrival == rb.arrival and ra.fileset == rb.fileset
+            for ra, rb in zip(a.requests, b.requests)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(SyntheticConfig(n_filesets=5, target_requests=500), seed=1)
+        b = generate_synthetic(SyntheticConfig(n_filesets=5, target_requests=500), seed=2)
+        assert any(ra.arrival != rb.arrival for ra, rb in zip(a.requests, b.requests))
+
+    def test_fileset_sizes_follow_x_weights(self):
+        """Request budget per file set spans roughly the X ~ U[1,10] range."""
+        wl = generate_synthetic(SyntheticConfig(), seed=0)
+        counts = sorted(fs.n_requests for fs in wl.catalog)
+        assert counts[-1] / counts[0] > 3  # spread consistent with [1,10]
+
+    def test_weakest_server_would_overload_uniformly(self):
+        """The Figure 5 premise: uniform placement kills server 0."""
+        wl = generate_synthetic(SyntheticConfig(), seed=0)
+        assert weakest_server_overloaded(wl, weakest_power=1.0, uniform_share=0.2)
+
+    def test_requests_sorted(self):
+        wl = generate_synthetic(SyntheticConfig(n_filesets=5, target_requests=300), seed=0)
+        arr = [r.arrival for r in wl.requests]
+        assert arr == sorted(arr)
+
+    def test_catalog_totals_match_requests(self):
+        wl = generate_synthetic(SyntheticConfig(n_filesets=8, target_requests=400), seed=0)
+        by_fs = {}
+        for r in wl.requests:
+            by_fs[r.fileset] = by_fs.get(r.fileset, 0.0) + r.work
+        for fs in wl.catalog:
+            assert by_fs[fs.name] == pytest.approx(fs.total_work)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_filesets=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_filesets=10, target_requests=5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(x_low=5.0, x_high=1.0)
+
+
+class TestTraceGenerator:
+    def test_paper_aggregates(self):
+        wl = generate_trace_shaped(TraceConfig(), seed=0)
+        # "21 file sets and 112,590 requests" over one hour
+        assert len(wl.catalog) == 21
+        assert abs(len(wl) - 112_590) < 300
+        assert wl.duration == 3_600.0
+
+    def test_zipf_skew_present(self):
+        wl = generate_trace_shaped(TraceConfig(), seed=0)
+        counts = sorted((fs.n_requests for fs in wl.catalog), reverse=True)
+        # hot subtree dominates: top set >> median set
+        assert counts[0] > 4 * counts[len(counts) // 2]
+
+    def test_deterministic(self):
+        cfg = TraceConfig(n_filesets=5, target_requests=1000)
+        a = generate_trace_shaped(cfg, seed=3)
+        b = generate_trace_shaped(cfg, seed=3)
+        assert [r.arrival for r in a.requests[:50]] == [
+            r.arrival for r in b.requests[:50]
+        ]
+
+
+class TestWorkloadOracle:
+    def test_work_between_sums_to_total(self):
+        wl = generate_synthetic(SyntheticConfig(n_filesets=6, target_requests=600), seed=0)
+        full = wl.work_between(0.0, wl.duration + 1.0)
+        assert sum(full.values()) == pytest.approx(wl.total_work)
+
+    def test_work_between_window_additivity(self):
+        wl = generate_synthetic(SyntheticConfig(n_filesets=6, target_requests=600), seed=0)
+        mid = wl.duration / 2
+        a = wl.work_between(0.0, mid)
+        b = wl.work_between(mid, wl.duration + 1.0)
+        for name in wl.catalog.names:
+            assert a[name] + b[name] == pytest.approx(
+                wl.work_between(0.0, wl.duration + 1.0)[name]
+            )
+
+    def test_work_matrix_matches_work_between(self):
+        wl = generate_synthetic(SyntheticConfig(n_filesets=6, target_requests=600), seed=0)
+        m = wl.work_matrix(120.0)
+        w0 = wl.work_between(0.0, 120.0)
+        np.testing.assert_allclose(m[0], [w0[n] for n in wl.catalog.names])
+
+    def test_rate_per_fileset(self):
+        wl = generate_synthetic(SyntheticConfig(n_filesets=4, target_requests=400), seed=0)
+        rates = wl.rate_per_fileset()
+        for name, rate in rates.items():
+            assert rate == pytest.approx(wl.catalog.get(name).total_work / wl.duration)
+
+
+class TestCalibrate:
+    def test_request_work_formula(self):
+        w = request_work_for_utilization(1000, 100.0, 25.0, 0.5)
+        assert 1000 * w / (100.0 * 25.0) == pytest.approx(0.5)
+
+    def test_scaling_factor(self):
+        assert scaling_factor_c(total_work=550.0, sum_x=275.0) == 2.0
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            (0, 1.0, 1.0, 0.5),
+            (10, 0.0, 1.0, 0.5),
+            (10, 1.0, 1.0, 1.5),
+        ],
+    )
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            request_work_for_utilization(*args)
