@@ -1,0 +1,169 @@
+"""Performance-regression harness: emits ``BENCH_perf.json``.
+
+Measures the three layers of the performance subsystem and writes one
+JSON artifact so future changes have a trajectory to regress against:
+
+* ``kernel_events_per_sec`` — the 10k-timeout event-loop microbench
+  (same shape as ``bench_micro.test_kernel_event_throughput``);
+* ``locates_per_sec`` — warm ANU lookups (hash memo + epoch memo);
+* the 4-system mini ``run_comparison`` wall-clock, sequential versus
+  the parallel runner (4 workers) with the on-disk result cache.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py
+
+Notes on the speedup measurement: each simulation is a serial
+dependency chain, so on a single-core container the process pool adds
+overhead rather than parallelism — there, the wall-clock win comes
+from the content-addressed result cache (second run onwards). Both
+cold and cached timings are recorded so multicore machines can see the
+pool contribution separately. The sequential/parallel results are also
+fingerprint-checked: the artifact refuses to report a speedup for
+output that is not byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.core import ANUManager, HashFamily  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    ExperimentCache,
+    paper_config,
+    result_fingerprint,
+    run_comparison,
+    run_comparison_parallel,
+)
+from repro.sim import Simulator  # noqa: E402
+from repro.workloads import generate_synthetic  # noqa: E402
+
+#: Seed-era reference numbers (measured on this container before the
+#: fast-path work), kept so the JSON always carries the before/after.
+BASELINE = {
+    "kernel_events_per_sec": 366_334.0,
+    "locates_per_sec": 295_395.0,
+    "comparison_sequential_seconds_scale_0.05": 0.22,
+}
+
+SWEEP_SYSTEMS = ("simple", "anu", "prescient", "virtual")
+
+
+def _best(fn, repeats: int = 5) -> float:
+    """Best-of-N wall-clock of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernel_events() -> float:
+    """Events per second for 10k scheduled timeouts."""
+
+    def run():
+        env = Simulator()
+        for i in range(10_000):
+            env.timeout(float(i % 100))
+        env.run()
+        assert env.events_processed == 10_000
+
+    return 10_000 / _best(run)
+
+
+def bench_locates() -> float:
+    """Warm ANU lookups per second over a 1k-name catalog."""
+    mgr = ANUManager(server_ids=list(range(16)), hash_family=HashFamily(seed=0))
+    names = [f"/namespace/dir{i}/subtree" for i in range(1_000)]
+    for n in names:  # warm both the probe cache and the epoch memo
+        mgr.lookup(n)
+
+    def run():
+        for n in names:
+            mgr.lookup(n)
+
+    return len(names) / _best(run)
+
+
+def bench_comparison(scale: float, workers: int) -> dict:
+    """Sequential vs parallel+cached wall-clock for the 4-system sweep."""
+    config = paper_config(seed=1, scale=scale)
+    workload = generate_synthetic(config.synthetic_config(), seed=1)
+
+    t0 = time.perf_counter()
+    sequential = run_comparison(workload, config, systems=SWEEP_SYSTEMS)
+    t_seq = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ExperimentCache(root=tmp, enabled=True)
+        t0 = time.perf_counter()
+        cold = run_comparison_parallel(
+            workload, config, systems=SWEEP_SYSTEMS, max_workers=workers, cache=cache
+        )
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_comparison_parallel(
+            workload, config, systems=SWEEP_SYSTEMS, max_workers=workers, cache=cache
+        )
+        t_warm = time.perf_counter() - t0
+
+    identical = all(
+        result_fingerprint(sequential[s])
+        == result_fingerprint(cold[s])
+        == result_fingerprint(warm[s])
+        for s in SWEEP_SYSTEMS
+    )
+    return {
+        "scale": scale,
+        "workers": workers,
+        "systems": list(SWEEP_SYSTEMS),
+        "sequential_seconds": round(t_seq, 4),
+        "parallel_cold_seconds": round(t_cold, 4),
+        "parallel_cached_seconds": round(t_warm, 4),
+        "parallel_byte_identical": identical,
+        "speedup_parallel_cached": round(t_seq / t_warm, 2) if identical else None,
+        "speedup_parallel_cold": round(t_seq / t_cold, 2) if identical else None,
+    }
+
+
+def main(out_path: Path | None = None) -> dict:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+    workers = int(os.environ.get("REPRO_PARALLEL_WORKERS", "4"))
+    payload = {
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "speedup_parallel_cached is the parallel runner (4 workers) with a "
+            "warm result cache; on single-core hosts the cache supplies the "
+            "speedup, on multicore hosts the pool also contributes "
+            "(parallel_cold_seconds)."
+        ),
+        "baseline": BASELINE,
+        "kernel_events_per_sec": round(bench_kernel_events(), 0),
+        "locates_per_sec": round(bench_locates(), 0),
+        "comparison": bench_comparison(scale, workers),
+    }
+    payload["kernel_speedup_vs_baseline"] = round(
+        payload["kernel_events_per_sec"] / BASELINE["kernel_events_per_sec"], 2
+    )
+    payload["locate_speedup_vs_baseline"] = round(
+        payload["locates_per_sec"] / BASELINE["locates_per_sec"], 2
+    )
+    out = out_path or (REPO_ROOT / "BENCH_perf.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+if __name__ == "__main__":
+    main(Path(sys.argv[1]) if len(sys.argv) > 1 else None)

@@ -27,7 +27,13 @@ from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 import numpy as np
 
 from ..core.tuning import LatencyReport
-from ..policies.base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+from ..policies.base import (
+    LazyKnowledge,
+    LoadManager,
+    Move,
+    PrescientKnowledge,
+    RebalanceContext,
+)
 from ..sim import Simulator, Tally, TimeSeries
 from .cache import CacheConfig, CacheModel
 from .client import RequestDriver
@@ -108,6 +114,9 @@ class ClusterResult:
     completed: int
     #: Latency of every completed request (aggregate figures).
     all_latencies: np.ndarray
+    #: Kernel events processed during the run (determinism fingerprint:
+    #: two runs of the same experiment must process the same count).
+    events_processed: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -172,8 +181,14 @@ class ClusterSimulation:
         self.movement: List[MovementRecord] = []
         self._round = 0
         # Initial placement before t=0 (prescient systems are balanced
-        # "from the very beginning, time 0", §5.2.1).
-        knowledge = self._knowledge(0.0) if config.supply_knowledge else None
+        # "from the very beginning, time 0", §5.2.1). The oracle is
+        # offered lazily: the catalog scan only runs if the policy
+        # actually reads it.
+        knowledge = (
+            LazyKnowledge(lambda: self._knowledge(0.0))
+            if config.supply_knowledge
+            else None
+        )
         self.policy.initial_placement(workload.catalog, knowledge)
         self.driver = RequestDriver(self.env, workload.requests, self._route)
         self._tuner = self.env.process(self._tuning_loop())
@@ -221,11 +236,15 @@ class ClusterSimulation:
                 for fs, work in srv.drain_fileset_work().items():
                     observed[fs] = observed.get(fs, 0.0) + work
             self._round += 1
+            # Offered, not computed: LazyKnowledge defers the O(catalog)
+            # oracle build until a prescient-class policy reads it, so
+            # simple/ANU/table rounds skip the work entirely.
+            t0 = self.env.now
             ctx = RebalanceContext(
-                now=self.env.now,
+                now=t0,
                 round_index=self._round,
                 reports=reports,
-                knowledge=self._knowledge(self.env.now)
+                knowledge=LazyKnowledge(lambda: self._knowledge(t0))
                 if self.config.supply_knowledge
                 else None,
                 observed_fileset_work=observed,
@@ -320,4 +339,5 @@ class ClusterSimulation:
             submitted=self.driver.submitted,
             completed=sum(s.completed_requests for s in self.servers.values()),
             all_latencies=all_lat,
+            events_processed=self.env.events_processed,
         )

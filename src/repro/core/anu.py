@@ -121,6 +121,13 @@ class ANUManager:
         self.detector = detector or IncompetenceDetector()
         self._assignments: Dict[str, object] = {}
         self._round = 0
+        #: Layout-configuration epoch. Bumped on every reconfiguration;
+        #: the lookup memo below is only valid within one epoch.
+        self._epoch = 0
+        # name -> (server, probes) memo for the *current* layout epoch.
+        # Cleared (and the epoch bumped) before any reassignment runs,
+        # so a stale entry can never survive a layout change.
+        self._lookup_memo: Dict[str, Tuple[object, int]] = {}
         #: Cumulative count of shed file sets across all reconfigurations.
         self.total_sheds = 0
         #: Lookup-cost counters (for the expected-two-probes property).
@@ -138,12 +145,22 @@ class ANUManager:
         budget lands in unmapped space (probability ``2^-max_probes``
         on an intact layout).
         """
+        memo = self._lookup_memo
+        hit = memo.get(name)
+        if hit is not None:
+            # Memo entries are valid for the current epoch only; the
+            # dict is cleared on every reconfiguration. Probe counters
+            # still advance so mean_probes matches the uncached cost.
+            self.total_lookups += 1
+            self.total_probes += hit[1]
+            return hit
         for r, offset in enumerate(self.hash_family.probe_sequence(name)):
             owner = self.layout.owner_at(offset)
             if owner is not None:
                 self.total_lookups += 1
                 self.total_probes += r + 1
-                return owner, r + 1
+                memo[name] = result = (owner, r + 1)
+                return result
         raise LookupExhaustedError(
             f"no mapped region hit for {name!r} in "
             f"{self.hash_family.max_probes} probes"
@@ -153,6 +170,11 @@ class ANUManager:
     def mean_probes(self) -> float:
         """Observed mean probes per lookup (≈ 2 under half occupancy)."""
         return self.total_probes / self.total_lookups if self.total_lookups else float("nan")
+
+    @property
+    def cache_epoch(self) -> int:
+        """Current layout epoch (bumped on every reconfiguration)."""
+        return self._epoch
 
     # ------------------------------------------------------------------ #
     # file-set registry
@@ -244,6 +266,11 @@ class ANUManager:
 
     # ------------------------------------------------------------------ #
     def _finish(self, kind: str, average: float, before: Dict[object, float]) -> Reconfiguration:
+        # The layout just changed: invalidate the lookup memo *before*
+        # reassignment so every lookup below sees the new regions (and
+        # re-warms the memo for the new epoch).
+        self._epoch += 1
+        self._lookup_memo.clear()
         sheds = self._reassign()
         self._round += 1
         self.total_sheds += len(sheds)

@@ -18,12 +18,19 @@ salted BLAKE2b digest interpreted as a 64-bit fraction. The family is
 Vectorized batch helpers are provided because experiments hash tens of
 thousands of names; hashing is never the bottleneck but the batch API
 keeps the analysis code idiomatic NumPy.
+
+Probe offsets are memoized per name: ``h_r(name)`` is a pure function
+of ``(seed, name, r)``, so once computed it is valid forever. Lookups
+re-probe the same bounded catalog of file-set names on every
+reconfiguration, which without the memo re-runs BLAKE2b for every
+(name, round) pair each time. The memo is derived state and is
+excluded from pickles (workers rebuild it on demand).
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -62,27 +69,52 @@ class HashFamily:
             self.seed.to_bytes(8, "little", signed=False) + r.to_bytes(4, "little")
             for r in range(self.max_probes)
         ]
+        # name -> probe offsets computed so far (grown lazily, in round
+        # order). Offsets are pure in (seed, name, round), so entries
+        # never need invalidation.
+        self._probe_cache: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------ #
+    def _grow_probes(self, name: str, upto: int) -> List[float]:
+        """Return ``name``'s cached offsets, extended to ``upto`` rounds."""
+        offs = self._probe_cache.get(name)
+        if offs is None:
+            offs = self._probe_cache[name] = []
+        if len(offs) < upto:
+            encoded = name.encode("utf-8")
+            blake2b = hashlib.blake2b
+            salts = self._salts
+            for r in range(len(offs), upto):
+                digest = blake2b(encoded, digest_size=8, salt=salts[r]).digest()
+                offs.append(int.from_bytes(digest, "little") / _TWO64)
+        return offs
+
     def offset(self, name: str, round_: int = 0) -> float:
         """Hashed offset of ``name`` in [0, 1) for probe ``round_``."""
         if not 0 <= round_ < self.max_probes:
             raise ConfigurationError(
                 f"round {round_} outside probe budget [0, {self.max_probes})"
             )
-        digest = hashlib.blake2b(
-            name.encode("utf-8"), digest_size=8, salt=self._salts[round_]
-        ).digest()
-        return int.from_bytes(digest, "little") / _TWO64
+        offs = self._probe_cache.get(name)
+        if offs is None or round_ >= len(offs):
+            offs = self._grow_probes(name, round_ + 1)
+        return offs[round_]
 
     def probe_sequence(self, name: str) -> Iterable[float]:
         """Lazily yield the offsets of ``name`` for rounds 0, 1, 2, ...
 
         Consumers stop at the first offset that lands in a mapped
         region; on average two values are consumed (half occupancy).
+        Consumed rounds are memoized, so repeated sequences over the
+        same catalog stop costing BLAKE2b digests.
         """
+        offs = self._probe_cache.get(name)
+        if offs is None:
+            offs = self._probe_cache[name] = []
         for r in range(self.max_probes):
-            yield self.offset(name, r)
+            if r >= len(offs):
+                self._grow_probes(name, r + 1)
+            yield offs[r]
 
     # ------------------------------------------------------------------ #
     def offsets(self, names: Sequence[str], round_: int = 0) -> np.ndarray:
@@ -119,6 +151,13 @@ class HashFamily:
         if n_servers < 1:
             raise ConfigurationError(f"n_servers must be >= 1, got {n_servers}")
         return min(int(self.offset(name, 0) * n_servers), n_servers - 1)
+
+    # -- pickling (the memo is derived state; ship only the identity) --- #
+    def __getstate__(self) -> dict:
+        return {"seed": self.seed, "max_probes": self.max_probes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["seed"], state["max_probes"])  # type: ignore[misc]
 
     def __eq__(self, other: object) -> bool:
         return (

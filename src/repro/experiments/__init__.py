@@ -13,7 +13,20 @@ from .config import (
     ExperimentConfig,
     paper_config,
 )
+from .cache import (
+    ExperimentCache,
+    cached_synthetic,
+    default_cache,
+    result_fingerprint,
+    workload_fingerprint,
+)
 from .figures import FIGURES
+from .parallel import (
+    default_workers,
+    run_comparison_parallel,
+    run_seed_sweep,
+    run_vp_sweep,
+)
 from .report import run_all_figures, run_figure
 from .runner import make_policy, run_comparison, run_system
 
@@ -29,4 +42,13 @@ __all__ = [
     "make_policy",
     "run_system",
     "run_comparison",
+    "ExperimentCache",
+    "cached_synthetic",
+    "default_cache",
+    "result_fingerprint",
+    "workload_fingerprint",
+    "default_workers",
+    "run_comparison_parallel",
+    "run_seed_sweep",
+    "run_vp_sweep",
 ]

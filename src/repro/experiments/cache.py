@@ -1,0 +1,285 @@
+"""Content-addressed caching for workloads and experiment results.
+
+Every figure and benchmark replays deterministic simulations: the same
+``(workload, config, system)`` triple always produces the same
+:class:`~repro.cluster.cluster.ClusterResult`, and the same
+``(SyntheticConfig, seed)`` pair always produces the same 66k–112k
+request schedule. This module stops the harness from recomputing those
+fixed points:
+
+* an in-process memo for synthetic workloads
+  (:func:`cached_synthetic`) — each caller still receives a pristine
+  copy, because requests carry per-run mutable state;
+* an on-disk, content-hash-keyed store (:class:`ExperimentCache`) for
+  both workloads and results, shared across processes and sessions;
+* :func:`result_fingerprint` — a canonical SHA-256 digest over every
+  measured field of a result, used by the determinism tests to assert
+  that parallel and sequential execution are *byte-identical*.
+
+Cache keys mix in ``repro.__version__`` and a schema version, so stale
+entries from older code are simply never hit. Environment knobs:
+
+``REPRO_CACHE=off``
+    Disable the on-disk cache entirely (in-process memo still applies).
+``REPRO_CACHE_DIR=<path>``
+    Override the on-disk location (default ``~/.cache/repro-sim``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import __version__
+from ..cluster.cluster import ClusterResult
+from ..workloads.synthetic import SyntheticConfig, Workload, generate_synthetic
+from .config import ExperimentConfig
+from .runner import _fresh_workload
+
+__all__ = [
+    "cached_synthetic",
+    "clear_memo",
+    "workload_fingerprint",
+    "result_fingerprint",
+    "ExperimentCache",
+    "default_cache",
+]
+
+#: Bump when the pickled layout of Workload/ClusterResult changes.
+_SCHEMA = 1
+
+# ---------------------------------------------------------------------- #
+# in-process workload memo
+# ---------------------------------------------------------------------- #
+_workload_memo: Dict[Tuple[SyntheticConfig, int], Workload] = {}
+
+
+def cached_synthetic(
+    config: SyntheticConfig,
+    seed: int,
+    cache: Optional["ExperimentCache"] = None,
+) -> Workload:
+    """Memoized :func:`generate_synthetic`.
+
+    Returns a *fresh copy* (pristine, un-served request objects) on
+    every call — the memo holds a master that is never handed out.
+    With ``cache`` given (or the default cache enabled), misses also
+    consult and populate the on-disk store.
+    """
+    key = (config, int(seed))
+    master = _workload_memo.get(key)
+    if master is None:
+        store = cache if cache is not None else default_cache()
+        master = store.get_workload(config, seed) if store.enabled else None
+        if master is None:
+            master = generate_synthetic(config, seed=seed)
+            if store.enabled:
+                store.put_workload(config, seed, master)
+        _workload_memo[key] = master
+    return _fresh_workload(master)
+
+
+def clear_memo() -> None:
+    """Drop the in-process workload memo (tests and memory pressure)."""
+    _workload_memo.clear()
+
+
+# ---------------------------------------------------------------------- #
+# fingerprints
+# ---------------------------------------------------------------------- #
+def _hash_update(h, *parts: object) -> None:
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """Content hash of a workload's schedule (names, times, work)."""
+    h = hashlib.sha256()
+    _hash_update(h, "workload", _SCHEMA, workload.duration, workload.catalog.names)
+    h.update(np.ascontiguousarray(workload._arrivals).tobytes())
+    h.update(np.ascontiguousarray(workload._works).tobytes())
+    h.update(np.ascontiguousarray(workload._fs_idx).tobytes())
+    return h.hexdigest()
+
+
+def result_fingerprint(result: ClusterResult) -> str:
+    """Canonical digest over every measured field of a result.
+
+    Two results with equal fingerprints are byte-identical in all the
+    data the figures consume: per-request latencies, per-server series
+    and tallies, the movement log, counters, and the event count. This
+    is the equality the parallel runner is held to.
+    """
+    h = hashlib.sha256()
+    _hash_update(
+        h,
+        "result",
+        _SCHEMA,
+        result.policy_name,
+        result.duration,
+        result.submitted,
+        result.completed,
+        result.shared_state_entries,
+        result.events_processed,
+    )
+    h.update(np.ascontiguousarray(result.all_latencies, dtype=np.float64).tobytes())
+    for m in result.movement:
+        _hash_update(h, "move", m.round_index, m.time, m.kind, m.moves, m.moved_work_share)
+    for sid in sorted(result.server_latency, key=repr):
+        series = result.server_latency[sid]
+        _hash_update(h, "series", sid, len(series))
+        h.update(series.times().tobytes())
+        h.update(series.values().tobytes())
+        tally = result.server_tally[sid]
+        _hash_update(h, "tally", sid, tally.count, tally.mean, tally.minimum, tally.maximum)
+        _hash_update(
+            h,
+            "server",
+            sid,
+            result.server_requests.get(sid),
+            result.server_utilization.get(sid),
+        )
+    return h.hexdigest()
+
+
+def _config_token(config: ExperimentConfig) -> str:
+    """Canonical JSON of an experiment configuration."""
+    return json.dumps(asdict(config), sort_keys=True, default=repr)
+
+
+def _synthetic_token(config: SyntheticConfig, seed: int) -> str:
+    return json.dumps({"cfg": asdict(config), "seed": int(seed)}, sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# on-disk store
+# ---------------------------------------------------------------------- #
+class ExperimentCache:
+    """Content-hash-keyed pickle store for workloads and results.
+
+    Entries are written atomically (temp file + rename) so concurrent
+    workers can share one directory. Keys embed the package version and
+    a schema version; entries written by incompatible code are never
+    read. The store degrades to a no-op when disabled.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None, enabled: Optional[bool] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro-sim"
+            )
+        self.root = Path(root)
+        if enabled is None:
+            enabled = os.environ.get("REPRO_CACHE", "").lower() not in ("off", "0", "false")
+        self.enabled = bool(enabled)
+        #: Hit/miss counters (diagnostics and tests).
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------- #
+    def _key(self, kind: str, token: str) -> str:
+        h = hashlib.sha256()
+        _hash_update(h, kind, __version__, _SCHEMA, token)
+        return h.hexdigest()
+
+    def workload_key(self, config: SyntheticConfig, seed: int) -> str:
+        """Cache key of a synthetic workload."""
+        return self._key("workload", _synthetic_token(config, seed))
+
+    def result_key(
+        self,
+        system: str,
+        workload: Workload,
+        config: ExperimentConfig,
+        n_virtual: Optional[int] = None,
+    ) -> str:
+        """Cache key of one ``system × workload × config`` result."""
+        token = json.dumps(
+            {
+                "system": system,
+                "workload": workload_fingerprint(workload),
+                "config": _config_token(config),
+                "n_virtual": n_virtual,
+            },
+            sort_keys=True,
+        )
+        return self._key("result", token)
+
+    # -- raw IO --------------------------------------------------------- #
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _load(self, key: str):
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def _store(self, key: str, value) -> None:
+        if not self.enabled:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Read-only or full filesystem: caching is best-effort.
+            pass
+
+    # -- typed helpers --------------------------------------------------- #
+    def get_workload(self, config: SyntheticConfig, seed: int) -> Optional[Workload]:
+        """Load a cached workload, or ``None`` on a miss."""
+        return self._load(self.workload_key(config, seed))
+
+    def put_workload(self, config: SyntheticConfig, seed: int, workload: Workload) -> None:
+        """Store a workload under its content key."""
+        self._store(self.workload_key(config, seed), workload)
+
+    def get_result(self, key: str) -> Optional[ClusterResult]:
+        """Load a cached result by key, or ``None`` on a miss."""
+        return self._load(key)
+
+    def put_result(self, key: str, result: ClusterResult) -> None:
+        """Store a result under ``key``."""
+        self._store(key, result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        state = "on" if self.enabled else "off"
+        return f"<ExperimentCache {state} root={str(self.root)!r} hits={self.hits} misses={self.misses}>"
+
+
+_default: Optional[ExperimentCache] = None
+
+
+def default_cache() -> ExperimentCache:
+    """Process-wide cache honouring the ``REPRO_CACHE*`` environment."""
+    global _default
+    if _default is None:
+        _default = ExperimentCache()
+    return _default

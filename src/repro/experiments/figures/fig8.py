@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ...cluster.cluster import ClusterResult
 from ...metrics.summary import ascii_table
-from ...workloads.synthetic import generate_synthetic
+from ..cache import cached_synthetic
 from ..config import ExperimentConfig, paper_config
 from ..runner import _fresh_workload, run_system
 
@@ -52,19 +52,34 @@ def run(
     seed: int = 1,
     scale: float = 1.0,
     sweep: Sequence[int] = DEFAULT_SWEEP,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> Fig8Data:
-    """Execute the VP sweep and the ANU/prescient reference runs."""
+    """Execute the VP sweep and the ANU/prescient reference runs.
+
+    With ``parallel=True`` the sweep points fan out across a process
+    pool (:mod:`repro.experiments.parallel`); results are identical to
+    the sequential path — the sweep is one independent run per VP count.
+    """
     config = paper_config(seed=seed, scale=scale)
-    workload = generate_synthetic(config.synthetic_config(), seed=seed)
-    references = {
-        system: run_system(system, _fresh_workload(workload), config)
-        for system in ("anu", "prescient")
-    }
-    sweep_results: Dict[int, ClusterResult] = {}
-    for nv in sweep:
-        sweep_results[nv] = run_system(
-            "virtual", _fresh_workload(workload), config, n_virtual=nv
+    workload = cached_synthetic(config.synthetic_config(), seed=seed)
+    if parallel:
+        from ..parallel import run_comparison_parallel, run_vp_sweep
+
+        references = run_comparison_parallel(
+            workload, config, systems=("anu", "prescient"), max_workers=max_workers
         )
+        sweep_results = run_vp_sweep(workload, config, sweep, max_workers=max_workers)
+    else:
+        references = {
+            system: run_system(system, _fresh_workload(workload), config)
+            for system in ("anu", "prescient")
+        }
+        sweep_results = {}
+        for nv in sweep:
+            sweep_results[nv] = run_system(
+                "virtual", _fresh_workload(workload), config, n_virtual=nv
+            )
     return Fig8Data(config=config, sweep=sweep_results, references=references)
 
 

@@ -1,0 +1,170 @@
+"""Parallel experiment execution with deterministic merge.
+
+The simulations themselves are strictly sequential (a discrete-event
+kernel is a serial dependency chain), but the *experiments* are
+embarrassingly parallel: a four-system comparison is four independent
+runs over copies of one workload, a seed sweep is independent end to
+end, and the Figure 8 VP sweep is one run per VP count. This module
+fans those units across a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges the results in a fixed order, so the output is
+*byte-identical* to the sequential harness (asserted by
+``tests/experiments/test_determinism.py`` via
+:func:`~repro.experiments.cache.result_fingerprint`).
+
+Determinism argument: each unit is a pure function of picklable inputs
+``(system, workload bytes, config)``; the kernel introduces no
+wall-clock or cross-run state; pickling floats/arrays round-trips
+exactly; and the merge iterates the caller's requested order, never
+completion order. Parallelism therefore changes wall-clock only.
+
+Worker count resolution: explicit argument, else the
+``REPRO_PARALLEL_WORKERS`` environment variable, else ``os.cpu_count()``.
+With one worker (or one unit) everything runs in-process — the pool is
+never spawned, so single-core machines and nested pools degrade
+gracefully. Passing an :class:`~repro.experiments.cache.ExperimentCache`
+short-circuits units whose results are already on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cluster.cluster import ClusterResult
+from ..workloads.synthetic import Workload, generate_synthetic
+from .cache import ExperimentCache, result_fingerprint
+from .config import SYSTEMS, ExperimentConfig
+from .runner import _fresh_workload, run_system
+
+__all__ = [
+    "default_workers",
+    "run_comparison_parallel",
+    "run_seed_sweep",
+    "run_vp_sweep",
+    "result_fingerprint",
+]
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_PARALLEL_WORKERS`` or the CPU count."""
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------- #
+# worker entry points (module-level: must be picklable by the pool)
+# ---------------------------------------------------------------------- #
+def _system_job(args: Tuple[str, Workload, ExperimentConfig, Optional[int]]) -> ClusterResult:
+    system, workload, config, n_virtual = args
+    return run_system(system, workload, config, n_virtual=n_virtual)
+
+
+def _seed_job(args: Tuple[str, ExperimentConfig]) -> ClusterResult:
+    # Workloads are generated inside the worker from the seed — shipping
+    # a seed costs bytes, shipping 66k requests costs megabytes.
+    system, config = args
+    workload = generate_synthetic(config.synthetic_config(), seed=config.seed)
+    return run_system(system, workload, config)
+
+
+def _fan_out(jobs: List[tuple], fn: Callable, max_workers: Optional[int]) -> List:
+    """Run ``fn`` over ``jobs``, preserving input order in the output."""
+    workers = max_workers if max_workers is not None else default_workers()
+    workers = min(max(1, workers), len(jobs)) if jobs else 1
+    if workers <= 1 or len(jobs) <= 1:
+        return [fn(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map yields results in submission order regardless of
+        # completion order — the deterministic merge is free.
+        return list(pool.map(fn, jobs))
+
+
+# ---------------------------------------------------------------------- #
+# public sweeps
+# ---------------------------------------------------------------------- #
+def run_comparison_parallel(
+    workload: Workload,
+    config: ExperimentConfig,
+    systems: Iterable[str] = SYSTEMS,
+    max_workers: Optional[int] = None,
+    cache: Optional[ExperimentCache] = None,
+) -> Dict[str, ClusterResult]:
+    """Parallel drop-in for :func:`repro.experiments.run_comparison`.
+
+    Returns ``{system: result}`` in the order of ``systems``, with each
+    result byte-identical to the sequential runner's. With ``cache``
+    given, systems whose results are already stored are not re-run, and
+    fresh results are stored for next time.
+    """
+    systems = tuple(systems)
+    results: Dict[str, ClusterResult] = {}
+    pending: List[str] = []
+    for system in systems:
+        hit = None
+        if cache is not None:
+            hit = cache.get_result(cache.result_key(system, workload, config))
+        if hit is not None:
+            results[system] = hit
+        else:
+            pending.append(system)
+    jobs = [(system, _fresh_workload(workload), config, None) for system in pending]
+    for system, result in zip(pending, _fan_out(jobs, _system_job, max_workers)):
+        results[system] = result
+        if cache is not None:
+            cache.put_result(cache.result_key(system, workload, config), result)
+    return {system: results[system] for system in systems}
+
+
+def run_seed_sweep(
+    system: str,
+    seeds: Sequence[int],
+    config: Optional[ExperimentConfig] = None,
+    max_workers: Optional[int] = None,
+) -> Dict[int, ClusterResult]:
+    """Run one system over many workload seeds in parallel.
+
+    Returns ``{seed: result}`` in the order of ``seeds``. Each worker
+    generates its own workload from the seed, so the fan-out ships only
+    configuration.
+    """
+    base = config if config is not None else ExperimentConfig()
+    jobs = [(system, replace(base, seed=int(seed))) for seed in seeds]
+    out = _fan_out(jobs, _seed_job, max_workers)
+    return {int(seed): result for seed, result in zip(seeds, out)}
+
+
+def run_vp_sweep(
+    workload: Workload,
+    config: ExperimentConfig,
+    sweep: Sequence[int],
+    max_workers: Optional[int] = None,
+    cache: Optional[ExperimentCache] = None,
+) -> Dict[int, ClusterResult]:
+    """The Figure 8 virtual-processor sweep, one run per VP count.
+
+    Returns ``{n_virtual: result}`` in the order of ``sweep``.
+    """
+    sweep = [int(nv) for nv in sweep]
+    results: Dict[int, ClusterResult] = {}
+    pending: List[int] = []
+    for nv in sweep:
+        hit = None
+        if cache is not None:
+            hit = cache.get_result(cache.result_key("virtual", workload, config, n_virtual=nv))
+        if hit is not None:
+            results[nv] = hit
+        else:
+            pending.append(nv)
+    jobs = [("virtual", _fresh_workload(workload), config, nv) for nv in pending]
+    for nv, result in zip(pending, _fan_out(jobs, _system_job, max_workers)):
+        results[nv] = result
+        if cache is not None:
+            cache.put_result(cache.result_key("virtual", workload, config, n_virtual=nv), result)
+    return {nv: results[nv] for nv in sweep}

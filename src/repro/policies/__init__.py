@@ -11,7 +11,7 @@ any of them interchangeably:
 """
 
 from .anu import ANURandomization
-from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+from .base import LazyKnowledge, LoadManager, Move, PrescientKnowledge, RebalanceContext
 from .optimizer import balance_items, estimated_average_latency
 from .prescient import DynamicPrescient
 from .simple import SimpleRandomization
@@ -23,6 +23,7 @@ __all__ = [
     "LoadManager",
     "Move",
     "PrescientKnowledge",
+    "LazyKnowledge",
     "RebalanceContext",
     "SimpleRandomization",
     "DynamicPrescient",

@@ -26,7 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..cluster.fileset import FileSetCatalog
 from ..core.tuning import LatencyReport
 
-__all__ = ["Move", "PrescientKnowledge", "RebalanceContext", "LoadManager"]
+__all__ = ["Move", "PrescientKnowledge", "LazyKnowledge", "RebalanceContext", "LoadManager"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,51 @@ class PrescientKnowledge:
     server_powers: Mapping[object, float]
     upcoming_work: Mapping[str, float]
     average_work: Mapping[str, float]
+
+
+class LazyKnowledge:
+    """A :class:`PrescientKnowledge` that is computed on first read.
+
+    Building the oracle costs a full catalog scan plus a
+    ``work_between`` pass over the request schedule — every tuning
+    round. Policies that never consult the oracle (simple, ANU, table)
+    should not pay that price, so the driver hands out this proxy
+    instead: the factory runs once, at the first attribute access, and
+    not at all if nobody reads it.
+
+    The proxy is intentionally *not* ``None``: policies gate on
+    ``ctx.knowledge is None`` to detect "oracle withheld", and a lazy
+    oracle is still an oracle.
+    """
+
+    __slots__ = ("_factory", "_value")
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._value: Optional[PrescientKnowledge] = None
+
+    def _materialize(self) -> PrescientKnowledge:
+        value = self._value
+        if value is None:
+            value = self._value = self._factory()
+        return value
+
+    @property
+    def materialized(self) -> bool:
+        """``True`` once the underlying oracle has been computed."""
+        return self._value is not None
+
+    @property
+    def server_powers(self) -> Mapping[object, float]:
+        return self._materialize().server_powers
+
+    @property
+    def upcoming_work(self) -> Mapping[str, float]:
+        return self._materialize().upcoming_work
+
+    @property
+    def average_work(self) -> Mapping[str, float]:
+        return self._materialize().average_work
 
 
 @dataclass

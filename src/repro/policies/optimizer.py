@@ -122,12 +122,19 @@ def balance_items(
         assignment[name] = best_sid
         loads[best_sid] += work
 
-    # Local search: moves, then swaps, until a full quiet pass.
+    # Local search: moves, then swaps, until a full quiet pass. The
+    # acceptance margin must scale with the objective: candidate loads
+    # are maintained incrementally, so a mathematically-equal
+    # configuration (e.g. swapping items between equal-power servers)
+    # re-evaluates with rounding noise proportional to the score's
+    # magnitude, and an absolute epsilon would accept it as an
+    # "improvement" and churn a local optimum forever.
     item_order = sorted(items, key=lambda n: (-items[n], n))
     movable = [n for n in item_order if items[n] > 0]
     for _ in range(max_passes):
         improved = False
         score = estimated_average_latency(loads, powers, interval)
+        margin = 1e-9 * (score if score > 1.0 else 1.0)
         # single-item moves
         for name in movable:
             work = items[name]
@@ -138,9 +145,10 @@ def balance_items(
                 loads[src] -= work
                 loads[dst] += work
                 val = estimated_average_latency(loads, powers, interval)
-                if val < score - 1e-12:
+                if val < score - margin:
                     assignment[name] = dst
                     score = val
+                    margin = 1e-9 * (score if score > 1.0 else 1.0)
                     src = dst
                     improved = True
                 else:
@@ -156,9 +164,10 @@ def balance_items(
                 loads[sa] += wb - wa
                 loads[sb] += wa - wb
                 val = estimated_average_latency(loads, powers, interval)
-                if val < score - 1e-12:
+                if val < score - margin:
                     assignment[a], assignment[b] = sb, sa
                     score = val
+                    margin = 1e-9 * (score if score > 1.0 else 1.0)
                     improved = True
                 else:
                     loads[sa] -= wb - wa

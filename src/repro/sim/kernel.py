@@ -9,6 +9,12 @@ The kernel is single-threaded and fully deterministic: given the same
 seeds and the same scheduling order, two runs produce identical event
 sequences. All times are ``float`` seconds of *simulated* time.
 
+The dispatch loop is the throughput floor for every experiment, so
+:meth:`step` works directly on the calendar's heap (no method-call
+indirection) and dispatches the compact waiter representation of
+:class:`~repro.sim.events.Event` — ``None`` / single callable / list —
+without allocating per event.
+
 Example
 -------
 >>> from repro.sim import Simulator
@@ -25,10 +31,20 @@ Example
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .errors import SchedulingError, SimulationError, StopSimulation
-from .events import AllOf, AnyOf, Event, EventQueue, Timeout
+from .errors import SchedulingError, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventQueue,
+    Timeout,
+    _PROCESSED,
+    _TRIGGERED,
+    _URGENT_OFFSET,
+)
 from .process import Process
 
 __all__ = ["Simulator"]
@@ -53,7 +69,11 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
-        self._stopped: Optional[StopSimulation] = None
+        # Fast-lane aliases: the hot loop pushes/pops the heap directly.
+        # Both views share state, so external pushes via ``_queue`` (or
+        # ``EventQueue.clear``) remain visible here.
+        self._heap = self._queue._heap
+        self._seq = self._queue._seq
         #: Number of events processed so far (diagnostic counter).
         self.events_processed = 0
 
@@ -73,8 +93,26 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` simulated seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` simulated seconds from now.
+
+        Builds the Timeout without chaining through ``__init__`` — one
+        timeout per simulated delay makes this the hottest allocation
+        site in the kernel, and skipping the extra frame is measurable.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay {delay!r}")
+        tm = Timeout.__new__(Timeout)
+        tm.env = self
+        tm._cbs = None
+        tm.value = value
+        tm.ok = True
+        tm._state = _TRIGGERED
+        tm._defused = False
+        if type(delay) is not float:
+            delay = float(delay)
+        tm.delay = delay
+        heappush(self._heap, (self._now + delay, next(self._seq), tm))
+        return tm
 
     def process(self, generator: Generator) -> Process:
         """Register ``generator`` as a process and start it immediately.
@@ -100,7 +138,10 @@ class Simulator:
         """Place a triggered event on the calendar ``delay`` from now."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay!r} seconds into the past")
-        self._queue.push(self._now + delay, event, priority)
+        key = next(self._seq)
+        if priority == EventQueue.URGENT:
+            key -= _URGENT_OFFSET
+        heappush(self._heap, (self._now + delay, key, event))
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Run ``callback()`` at absolute simulated ``time``.
@@ -112,9 +153,8 @@ class Simulator:
         if time < self._now:
             raise SchedulingError(f"schedule_at({time}) is in the past (now={self._now})")
         ev = Event(self)
-        ev.callbacks.append(lambda _ev: callback())
-        ev.ok = True
-        ev._state = ev._state.__class__.TRIGGERED  # type: ignore[attr-defined]
+        ev._add_callback(lambda _ev: callback())
+        ev.force_trigger()
         self._queue.push(time, ev, EventQueue.NORMAL)
         return ev
 
@@ -127,25 +167,28 @@ class Simulator:
         Raises ``IndexError`` if the calendar is empty. Raises the
         failure of an un-defused failed event.
         """
-        time, _prio, _seq, event = self._queue.pop()
-        if time < self._now:  # pragma: no cover - defensive, cannot happen
-            raise SimulationError("calendar produced an event in the past")
-        self._now = time
-        event._mark_processed()
+        entry = heappop(self._heap)
+        event = entry[2]
+        self._now = entry[0]
+        event._state = _PROCESSED
         self.events_processed += 1
-        for callback in event.callbacks:
-            callback(event)
-        event.callbacks = []  # free references; event is one-shot
+        cbs = event._cbs
+        if cbs is not None:
+            event._cbs = None  # free references; event is one-shot
+            if type(cbs) is list:
+                for callback in cbs:
+                    callback(event)
+            else:
+                # Single-waiter fast lane (the timeout→resume pattern).
+                cbs(event)
         if not event.ok and not event._defused:
             # Nobody handled the failure: surface it.
             raise event.value
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        try:
-            return self._queue.peek_time()
-        except IndexError:
-            return float("inf")
+        heap = self._heap
+        return heap[0][0] if heap else float("inf")
 
     def run(self, until: Optional[float] = None) -> Any:
         """Run the calendar.
@@ -163,13 +206,95 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SchedulingError(f"run(until={until}) is in the past (now={self._now})")
+        # Inlined step() body: the dispatch loop is the throughput floor
+        # of every experiment, so it runs without per-event method calls.
+        heap = self._heap
+        pop = heappop
+        done = _PROCESSED
+        processed = 0
+        # The clock is stored back to ``self._now`` only when someone
+        # can observe it mid-loop (callbacks, failures); waiter-less
+        # successful events — bare timeouts — skip the attribute store.
+        # The calendar-exhaustion loop is specialized so the unbounded
+        # case does not evaluate a deadline per event.
+        entry = None
+        # Bulk fast lane: a deep calendar whose head event has no
+        # waiters (bulk pre-scheduled timeouts) is sorted once — a
+        # sorted list is a valid heap, and sorted order IS pop order —
+        # then consumed by index at O(1) per event instead of an
+        # O(log n) sift each. The drain stops at the first event whose
+        # processing anyone could observe (waiters or a failure) and
+        # compacts the consumed prefix away; the classic loop below
+        # takes over on the still-valid remainder.
+        n = len(heap)
+        if n >= 256 and heap[0][2]._cbs is None and heap[0][2].ok:
+            heap.sort()
+            i = 0
+            if until is None:
+                while i < n:
+                    event = heap[i][2]
+                    if event._cbs is not None or not event.ok:
+                        break
+                    event._state = done
+                    i += 1
+            else:
+                while i < n:
+                    head = heap[i]
+                    if head[0] > until:
+                        break
+                    event = head[2]
+                    if event._cbs is not None or not event.ok:
+                        break
+                    event._state = done
+                    i += 1
+            if i:
+                processed += i
+                entry = heap[i - 1]
+                del heap[:i]
         try:
-            while self._queue:
-                if until is not None and self._queue.peek_time() > until:
-                    break
-                self.step()
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    event = entry[2]
+                    event._state = done
+                    processed += 1
+                    cbs = event._cbs
+                    if cbs is not None:
+                        self._now = entry[0]
+                        event._cbs = None  # free references; one-shot
+                        if type(cbs) is list:
+                            for callback in cbs:
+                                callback(event)
+                        else:
+                            # Single-waiter fast lane (timeout→resume).
+                            cbs(event)
+                    if not event.ok and not event._defused:
+                        self._now = entry[0]
+                        raise event.value
+            else:
+                while heap and heap[0][0] <= until:
+                    entry = pop(heap)
+                    event = entry[2]
+                    event._state = done
+                    processed += 1
+                    cbs = event._cbs
+                    if cbs is not None:
+                        self._now = entry[0]
+                        event._cbs = None  # free references; one-shot
+                        if type(cbs) is list:
+                            for callback in cbs:
+                                callback(event)
+                        else:
+                            cbs(event)
+                    if not event.ok and not event._defused:
+                        self._now = entry[0]
+                        raise event.value
         except StopSimulation as stop:
             return stop.value
+        finally:
+            self.events_processed += processed
+            if entry is not None and entry[0] > self._now:
+                self._now = entry[0]
         if until is not None and self._now < until:
             self._now = until
         return None
@@ -183,7 +308,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         """Number of events currently on the calendar."""
-        return len(self._queue)
+        return len(self._heap)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetics
-        return f"<Simulator now={self._now} pending={len(self._queue)}>"
+        return f"<Simulator now={self._now} pending={len(self._heap)}>"

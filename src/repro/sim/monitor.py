@@ -28,9 +28,18 @@ class Tally:
 
     Uses Welford's algorithm for numerically stable mean/variance.
     Optionally keeps raw samples (``keep=True``) for percentile queries.
+
+    Retained samples live in a growable NumPy buffer (doubling
+    amortized growth) rather than a Python list: one request-latency
+    observation lands here per completed request, and the buffer keeps
+    that hot path allocation-free while :attr:`samples` stays a zero-
+    conversion array view for the analysis layer.
     """
 
-    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_samples")
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_keep", "_buf")
+
+    #: Initial retained-sample buffer capacity (doubles on overflow).
+    _INITIAL_CAPACITY = 256
 
     def __init__(self, keep: bool = False) -> None:
         self._n = 0
@@ -38,21 +47,50 @@ class Tally:
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
-        self._samples: Optional[List[float]] = [] if keep else None
+        self._keep = bool(keep)
+        self._buf: Optional[np.ndarray] = (
+            np.empty(self._INITIAL_CAPACITY, dtype=np.float64) if keep else None
+        )
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self._n += 1
+        n = self._n = self._n + 1
         delta = value - self._mean
-        self._mean += delta / self._n
+        self._mean += delta / n
         self._m2 += delta * (value - self._mean)
         if value < self._min:
             self._min = value
         if value > self._max:
             self._max = value
-        if self._samples is not None:
-            self._samples.append(value)
+        if self._keep:
+            buf = self._buf
+            if n > buf.shape[0]:
+                grown = np.empty(buf.shape[0] * 2, dtype=np.float64)
+                grown[: n - 1] = buf
+                self._buf = buf = grown
+            buf[n - 1] = value
+
+    # -- pickling (trim the over-allocated buffer) ----------------------- #
+    def __getstate__(self) -> dict:
+        state = {
+            "_n": self._n,
+            "_mean": self._mean,
+            "_m2": self._m2,
+            "_min": self._min,
+            "_max": self._max,
+            "_keep": self._keep,
+            "_buf": self._buf[: self._n].copy() if self._keep else None,
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        if self._keep and self._buf.shape[0] < self._INITIAL_CAPACITY:
+            buf = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+            buf[: self._n] = self._buf
+            self._buf = buf
 
     def observe_many(self, values: Iterable[float]) -> None:
         """Record a batch of observations."""
@@ -93,22 +131,26 @@ class Tally:
 
     @property
     def samples(self) -> np.ndarray:
-        """Raw observations (requires ``keep=True`` at construction)."""
-        if self._samples is None:
+        """Raw observations (requires ``keep=True`` at construction).
+
+        Returns a copy so callers may mutate freely without corrupting
+        the live buffer.
+        """
+        if not self._keep:
             raise ValueError("Tally was created with keep=False; raw samples unavailable")
-        return np.asarray(self._samples, dtype=np.float64)
+        return self._buf[: self._n].copy()
 
     def percentile(self, q: float) -> float:
         """``q``-th percentile (requires ``keep=True`` at construction)."""
-        if self._samples is None:
+        if not self._keep:
             raise ValueError("Tally was created with keep=False; raw samples unavailable")
-        if not self._samples:
+        if not self._n:
             return math.nan
-        return float(np.percentile(np.asarray(self._samples), q))
+        return float(np.percentile(self._buf[: self._n], q))
 
     def reset(self) -> None:
         """Forget all observations."""
-        self.__init__(keep=self._samples is not None)  # type: ignore[misc]
+        self.__init__(keep=self._keep)  # type: ignore[misc]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetics
         return f"<Tally n={self._n} mean={self.mean:.6g}>"

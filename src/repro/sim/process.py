@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from .errors import EventStateError, Interrupt, ProcessError
-from .events import Event, EventState
+from .events import Event, _PENDING, _PROCESSED, _TRIGGERED
 
 __all__ = ["Process"]
 
@@ -44,16 +44,15 @@ class Process(Event):
         # Kick the process off via an immediately-triggered init event so
         # that processes start in deterministic scheduling order.
         init = Event(env)
-        init.callbacks.append(self._resume)
-        init.ok = True
-        init._state = EventState.TRIGGERED
+        init._cbs = self._resume
+        init._state = _TRIGGERED
         env._schedule(init, delay=0.0)
 
     # ------------------------------------------------------------------ #
     @property
     def is_alive(self) -> bool:
         """``True`` while the generator has not finished."""
-        return self._state == EventState.PENDING
+        return self._state is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -66,15 +65,15 @@ class Process(Event):
             raise EventStateError(f"cannot interrupt finished process {self.name}")
         # Detach from the current target so its later firing is ignored.
         target = self._target
-        if target is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target is not None:
+            target._discard_callback(self._resume)
         self._target = None
         ev = Event(self.env)
         ev.ok = False
         ev.value = Interrupt(cause)
-        ev._state = EventState.TRIGGERED
+        ev._state = _TRIGGERED
         ev._defused = True  # the process is the handler
-        ev.callbacks.append(self._resume)
+        ev._cbs = self._resume
         self.env._schedule(ev, delay=0.0)
 
     # ------------------------------------------------------------------ #
@@ -107,20 +106,20 @@ class Process(Event):
             self.generator.close()
             self.fail(err)
             return
-        if next_target.processed:
+        if next_target._state is _PROCESSED:
             # Already fired: resume on the next calendar step to keep
             # time monotone and ordering deterministic.
             bridge = Event(self.env)
             bridge.ok = next_target.ok
             bridge.value = next_target.value
-            bridge._state = EventState.TRIGGERED
+            bridge._state = _TRIGGERED
             if not bridge.ok:
                 bridge._defused = True
-            bridge.callbacks.append(self._resume)
+            bridge._cbs = self._resume
             self.env._schedule(bridge, delay=0.0)
             self._target = bridge
         else:
-            next_target.callbacks.append(self._resume)
+            next_target._add_callback(self._resume)
             self._target = next_target
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetics

@@ -52,6 +52,47 @@ class TestEventLifeCycle:
             ev.succeed()
 
 
+class TestForceTrigger:
+    """The public seam for code that manages calendar placement itself."""
+
+    def test_marks_triggered_without_scheduling(self, env):
+        ev = env.event()
+        ev.force_trigger(value="later")
+        assert ev.triggered and not ev.processed
+        assert ev.value == "later" and ev.ok
+        assert len(env) == 0  # nothing was placed on the calendar
+
+    def test_works_without_env(self):
+        # Unlike succeed(), no simulator is required: the caller owns
+        # calendar placement.
+        ev = Event(env=None)
+        ev.force_trigger()
+        assert ev.triggered
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event().force_trigger()
+        with pytest.raises(EventStateError):
+            ev.force_trigger()
+        with pytest.raises(EventStateError):
+            ev.succeed()
+
+    def test_failure_variant(self, env):
+        boom = RuntimeError("boom")
+        ev = env.event().force_trigger(value=boom, ok=False)
+        ev.defuse()
+        env._queue.push(1.0, ev)
+        env.run()
+        assert ev.processed and not ev.ok
+
+    def test_processed_after_manual_placement(self, env):
+        got = []
+        ev = env.event().force_trigger(value=7)
+        ev.callbacks.append(lambda e: got.append((env.now, e.value)))
+        env._queue.push(3.0, ev)
+        env.run()
+        assert got == [(3.0, 7)]
+
+
 class TestComposites:
     def test_all_of_waits_for_all(self, env):
         a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")

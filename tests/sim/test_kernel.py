@@ -77,15 +77,9 @@ class TestDeterministicOrdering:
     def test_urgent_priority_fires_first(self, env):
         order = []
         q = env._queue
-        late = env.event()
-        late.ok = True
-        late.value = "normal"
-        late._state = late._state.__class__.TRIGGERED
+        late = env.event().force_trigger(value="normal")
         q.push(1.0, late, EventQueue.NORMAL)
-        urgent = env.event()
-        urgent.ok = True
-        urgent.value = "urgent"
-        urgent._state = urgent._state.__class__.TRIGGERED
+        urgent = env.event().force_trigger(value="urgent")
         q.push(1.0, urgent, EventQueue.URGENT)
         for ev in (late, urgent):
             ev.callbacks.append(lambda e: order.append(e.value))
