@@ -16,7 +16,13 @@ striped shared-disk data path behind a SAN.
 """
 
 from .cache import CacheConfig, CacheModel
-from .client import AccessClient, RequestDriver
+from .client import (
+    AccessClient,
+    HardenedClient,
+    HardenedRequestDriver,
+    RequestDriver,
+    RetryPolicy,
+)
 from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, MovementRecord
 from .disk import DiskArray, SharedDisk
 from .distributed_cluster import DistributedClusterSimulation
@@ -33,6 +39,9 @@ __all__ = [
     "CacheModel",
     "CacheConfig",
     "RequestDriver",
+    "RetryPolicy",
+    "HardenedClient",
+    "HardenedRequestDriver",
     "AccessClient",
     "SharedDisk",
     "DiskArray",

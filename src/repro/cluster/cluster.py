@@ -190,8 +190,14 @@ class ClusterSimulation:
             else None
         )
         self.policy.initial_placement(workload.catalog, knowledge)
-        self.driver = RequestDriver(self.env, workload.requests, self._route)
+        self.driver = self._make_driver()
         self._tuner = self.env.process(self._tuning_loop())
+
+    def _make_driver(self):
+        """Build the request driver (overridden by the chaos harness to
+        substitute the retrying :class:`~repro.cluster.client.HardenedClient`
+        path)."""
+        return RequestDriver(self.env, self.workload.requests, self._route)
 
     # ------------------------------------------------------------------ #
     # routing and knowledge

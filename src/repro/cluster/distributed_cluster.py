@@ -62,7 +62,7 @@ class DistributedClusterSimulation(ClusterSimulation):
                 f"{type(policy).__name__}"
             )
         super().__init__(workload, policy, config)
-        self.network = Network(self.env)
+        self.network = self._make_network()
         self._pending_reports: List[LatencyReport] = []
         self.service = DistributedTuningService(
             self.env,
@@ -74,6 +74,12 @@ class DistributedClusterSimulation(ClusterSimulation):
         self.delegate_history: List[object] = [self.service.delegate_id]
         for t in delegate_crashes or []:
             self.env.schedule_at(t, self._crash_delegate)
+
+    # ------------------------------------------------------------------ #
+    def _make_network(self) -> Network:
+        """Build the control-plane network (the chaos harness overrides
+        this to hand in a seeded, fault-capable network)."""
+        return Network(self.env)
 
     # ------------------------------------------------------------------ #
     def _crash_delegate(self) -> None:

@@ -59,9 +59,16 @@ class FileServer:
         self.env = env
         self.server_id = server_id
         self.power = float(power)
+        #: Nominal power; ``power`` may be temporarily degraded below it
+        #: by straggler injection (see :meth:`set_power_factor`).
+        self.base_power = float(power)
         self.cache = cache
         self._queue: Store = Store(env)
         self._failed = False
+        #: Crash count; bumps on every fail(). Clients use it to notice
+        #: that a queue they submitted into was discarded by a crash,
+        #: even if the server has already recovered since.
+        self.incarnation = 0
         # Whole-run statistics.
         self.completed = Tally(keep=True)
         #: Per-interval mean latency samples (one per tuning round).
@@ -114,6 +121,26 @@ class FileServer:
     def failed(self) -> bool:
         """``True`` while the server is down."""
         return self._failed
+
+    # ------------------------------------------------------------------ #
+    # straggler injection
+    # ------------------------------------------------------------------ #
+    def set_power_factor(self, factor: float) -> None:
+        """Scale effective power to ``factor × base_power`` (straggler).
+
+        ``factor < 1`` degrades the server (a straggler: overheating,
+        background load, a failing disk); ``factor = 1`` restores it.
+        Applies to service slices started after the call — the slice in
+        progress finishes at its old rate, like a real rate change.
+        """
+        if factor <= 0:
+            raise ValueError(f"power factor must be > 0, got {factor}")
+        self.power = self.base_power * float(factor)
+
+    @property
+    def degraded(self) -> bool:
+        """``True`` while a straggler injection is active."""
+        return self.power != self.base_power
 
     # ------------------------------------------------------------------ #
     # the service loop
@@ -218,6 +245,7 @@ class FileServer:
         if self._failed:
             raise RuntimeError(f"server {self.server_id!r} already failed")
         self._failed = True
+        self.incarnation += 1
         self._loop.interrupt("failed")
         orphans = list(self._queue.drain())
         # Replace the queue outright: the dying loop may still hold a

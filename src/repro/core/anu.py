@@ -21,7 +21,7 @@ charge cache-flush and cold-cache costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import LookupExhaustedError, UnknownServerError
 from .hashing import HashFamily
@@ -130,6 +130,11 @@ class ANUManager:
         self._lookup_memo: Dict[str, Tuple[object, int]] = {}
         #: Cumulative count of shed file sets across all reconfigurations.
         self.total_sheds = 0
+        # Observers invoked with every finished Reconfiguration (the
+        # chaos harness hangs its invariant checker here). Hooks run
+        # synchronously inside the reconfiguration, so a hook that
+        # raises fails the membership/tuning call itself — fail-fast.
+        self._reconfig_hooks: List[Callable[[Reconfiguration], None]] = []
         #: Lookup-cost counters (for the expected-two-probes property).
         self.total_lookups = 0
         self.total_probes = 0
@@ -276,7 +281,7 @@ class ANUManager:
         self.total_sheds += len(sheds)
         after = self.layout.lengths()
         newly = self.detector.observe(after) if kind == "tune" else []
-        return Reconfiguration(
+        rec = Reconfiguration(
             kind=kind,
             round_index=self._round,
             average_latency=average,
@@ -285,6 +290,13 @@ class ANUManager:
             sheds=sheds,
             newly_incompetent=newly,
         )
+        for hook in self._reconfig_hooks:
+            hook(rec)
+        return rec
+
+    def add_reconfiguration_hook(self, hook: Callable[[Reconfiguration], None]) -> None:
+        """Invoke ``hook(rec)`` after every reconfiguration (fail-fast)."""
+        self._reconfig_hooks.append(hook)
 
     def _reassign(self) -> List[Shed]:
         """Recompute every registered file set's server; collect sheds."""

@@ -20,6 +20,13 @@ from .cache import (
     result_fingerprint,
     workload_fingerprint,
 )
+from .chaos import (
+    DEFAULT_FAULT_RATES,
+    render_chaos,
+    run_chaos,
+    run_chaos_sweep,
+    write_robustness_bench,
+)
 from .figures import FIGURES
 from .parallel import (
     default_workers,
@@ -51,4 +58,9 @@ __all__ = [
     "run_comparison_parallel",
     "run_seed_sweep",
     "run_vp_sweep",
+    "DEFAULT_FAULT_RATES",
+    "run_chaos",
+    "run_chaos_sweep",
+    "render_chaos",
+    "write_robustness_bench",
 ]

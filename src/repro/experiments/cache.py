@@ -21,8 +21,15 @@ entries from older code are simply never hit. Environment knobs:
 
 ``REPRO_CACHE=off``
     Disable the on-disk cache entirely (in-process memo still applies).
+    Accepted values: ``on/off``, ``1/0``, ``true/false``, ``yes/no``
+    (case-insensitive); anything else raises a :class:`ValueError`.
 ``REPRO_CACHE_DIR=<path>``
     Override the on-disk location (default ``~/.cache/repro-sim``).
+
+Corrupt or truncated cache files (killed writer on a non-atomic
+filesystem, disk error, partial copy) are treated as misses, *deleted*,
+and recomputed — a bad entry can never wedge the harness or survive to
+poison the next run.
 """
 
 from __future__ import annotations
@@ -55,6 +62,23 @@ __all__ = [
 
 #: Bump when the pickled layout of Workload/ClusterResult changes.
 _SCHEMA = 1
+
+_TRUTHY = ("", "on", "1", "true", "yes")
+_FALSY = ("off", "0", "false", "no")
+
+
+def _cache_enabled_from_env() -> bool:
+    """Parse ``REPRO_CACHE`` strictly; a typo must not silently enable."""
+    raw = os.environ.get("REPRO_CACHE", "")
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        "REPRO_CACHE must be one of "
+        f"{'/'.join(_TRUTHY[1:] + _FALSY)} (got {raw!r})"
+    )
 
 # ---------------------------------------------------------------------- #
 # in-process workload memo
@@ -179,11 +203,13 @@ class ExperimentCache:
             )
         self.root = Path(root)
         if enabled is None:
-            enabled = os.environ.get("REPRO_CACHE", "").lower() not in ("off", "0", "false")
+            enabled = _cache_enabled_from_env()
         self.enabled = bool(enabled)
         #: Hit/miss counters (diagnostics and tests).
         self.hits = 0
         self.misses = 0
+        #: Corrupt/truncated entries deleted on read.
+        self.evictions = 0
 
     # -- keys ----------------------------------------------------------- #
     def _key(self, kind: str, token: str) -> str:
@@ -223,10 +249,24 @@ class ExperimentCache:
             return None
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            fh = open(path, "rb")
+        except OSError:
+            # Plain miss: no entry (or unreadable filesystem).
             self.misses += 1
+            return None
+        try:
+            with fh:
+                value = pickle.load(fh)
+        except Exception:
+            # The file exists but does not decode: corrupt or truncated.
+            # Delete it so the recomputed value can take its place —
+            # leaving it would repeat the failed decode on every read.
+            self.evictions += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return value

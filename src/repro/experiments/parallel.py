@@ -48,13 +48,26 @@ __all__ = [
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_PARALLEL_WORKERS`` or the CPU count."""
+    """Worker count from ``REPRO_PARALLEL_WORKERS`` or the CPU count.
+
+    The variable must be a positive integer; anything else raises a
+    :class:`ValueError` naming the variable and the offending value —
+    a silently ignored typo here would quietly serialize (or fail to
+    bound) every sweep.
+    """
     env = os.environ.get("REPRO_PARALLEL_WORKERS")
-    if env:
+    if env is not None and env.strip():
         try:
-            return max(1, int(env))
+            workers = int(env)
         except ValueError:
-            pass
+            raise ValueError(
+                f"REPRO_PARALLEL_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(
+                f"REPRO_PARALLEL_WORKERS must be >= 1, got {workers}"
+            )
+        return workers
     return os.cpu_count() or 1
 
 

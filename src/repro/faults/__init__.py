@@ -1,0 +1,43 @@
+"""Deterministic chaos harness: fault injection + continuous auditing.
+
+The subsystem splits into four pieces, composable on their own:
+
+* :mod:`repro.faults.schedule` — replayable fault scripts
+  (:class:`FaultSchedule`) and the seeded generator
+  (:func:`random_schedule`);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the sim
+  process that executes a schedule against a target cluster;
+* :mod:`repro.faults.invariants` — :class:`InvariantChecker`, hooked
+  into every reconfiguration, raising :class:`ChaosInvariantError`
+  with a replayable :class:`ReplayArtifact`;
+* :mod:`repro.faults.chaos` — :class:`ChaosClusterSimulation`, the
+  full harness (hardened client + heartbeat detection + injector +
+  auditor) and its :class:`ChaosResult` / :func:`chaos_fingerprint`.
+"""
+
+from .chaos import (
+    ChaosClusterSimulation,
+    ChaosConfig,
+    ChaosResult,
+    FailureRecord,
+    chaos_fingerprint,
+)
+from .injector import FaultInjector
+from .invariants import ChaosInvariantError, InvariantChecker, ReplayArtifact
+from .schedule import FaultEvent, FaultKind, FaultSchedule, random_schedule
+
+__all__ = [
+    "ChaosClusterSimulation",
+    "ChaosConfig",
+    "ChaosResult",
+    "FailureRecord",
+    "chaos_fingerprint",
+    "FaultInjector",
+    "ChaosInvariantError",
+    "InvariantChecker",
+    "ReplayArtifact",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "random_schedule",
+]

@@ -1,0 +1,216 @@
+"""Continuous invariant checking under churn.
+
+The paper's §3–§4 guarantees are stated as invariants over the layout
+and the request flow; :class:`InvariantChecker` asserts them *during*
+a run — hooked into every :class:`~repro.core.anu.Reconfiguration` and
+optionally polled on a fixed cadence — rather than once at the end, so
+a violation is caught at the reconfiguration that introduced it.
+
+Checked invariants
+------------------
+``half-occupancy``
+    Mapped-region lengths sum to exactly one half of the unit interval
+    (the guarantee that a free partition exists for any recovered or
+    added server).
+``containment``
+    Structural region/partition containment: every partition owned by
+    at most one server, owner index consistent, partial fills in
+    ``(0, 1)``, at least one completely free partition. (Delegated to
+    :meth:`IntervalLayout.check_invariants`.)
+``orphaned-fileset``
+    Every registered file set is assigned to a server present in the
+    current layout — no request can route into a void.
+``election-safety``
+    At most one delegate is in office.
+``request-conservation``
+    ``injected = completed + failed + in-flight`` on the hardened
+    client's ledger — retries and redirects never lose or duplicate a
+    logical request.
+
+On violation the checker raises :class:`ChaosInvariantError` carrying a
+:class:`ReplayArtifact` — the ``(seed, schedule)`` pair plus the
+violation context — so the exact failing run can be re-executed
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..core.anu import ANUManager, Reconfiguration
+from ..core.errors import InvariantViolation
+from ..core.interval import HALF
+from .schedule import FaultSchedule
+
+__all__ = ["ReplayArtifact", "ChaosInvariantError", "InvariantChecker"]
+
+#: Tolerance on the half-occupancy sum (matches the layout audit).
+_HALF_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ReplayArtifact:
+    """Everything needed to replay a failing chaos run."""
+
+    seed: Optional[int]
+    schedule: Optional[FaultSchedule]
+    time: float
+    invariant: str
+    detail: str
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding of the artifact."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "schedule": json.loads(self.schedule.to_json())
+                if self.schedule is not None
+                else None,
+                "time": self.time,
+                "invariant": self.invariant,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayArtifact":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        schedule = data.get("schedule")
+        return cls(
+            seed=data.get("seed"),
+            schedule=FaultSchedule.from_json(json.dumps(schedule))
+            if schedule is not None
+            else None,
+            time=float(data.get("time", 0.0)),
+            invariant=str(data.get("invariant", "")),
+            detail=str(data.get("detail", "")),
+        )
+
+
+class ChaosInvariantError(AssertionError):
+    """An invariant failed under churn; carries the replay artifact."""
+
+    def __init__(self, message: str, artifact: ReplayArtifact) -> None:
+        super().__init__(message)
+        self.artifact = artifact
+
+
+class InvariantChecker:
+    """Continuously audits a live cluster's safety invariants.
+
+    Parameters
+    ----------
+    manager:
+        The authoritative :class:`ANUManager`; the checker hooks itself
+        into every reconfiguration it performs.
+    client:
+        Optional hardened client whose conservation ledger is audited.
+    delegates:
+        Optional ``() -> iterable`` of delegates currently in office
+        (election safety: the set must never exceed one).
+    seed / schedule:
+        Replay context embedded into every violation artifact.
+    now:
+        ``() -> float`` giving the current simulated time (for artifact
+        timestamps); defaults to ``0.0``.
+    """
+
+    def __init__(
+        self,
+        manager: ANUManager,
+        client: Optional[object] = None,
+        delegates: Optional[Callable[[], Iterable[object]]] = None,
+        seed: Optional[int] = None,
+        schedule: Optional[FaultSchedule] = None,
+        now: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.manager = manager
+        self.client = client
+        self.delegates = delegates
+        self.seed = seed
+        self.schedule = schedule
+        self.now = now or (lambda: 0.0)
+        #: Total invariant sweeps performed.
+        self.checks = 0
+        #: Artifacts of violations seen (the raise is fail-fast, so at
+        #: most one per run unless the caller swallows the error).
+        self.violations: List[ReplayArtifact] = []
+        manager.add_reconfiguration_hook(self._on_reconfiguration)
+
+    # ------------------------------------------------------------------ #
+    def _on_reconfiguration(self, rec: Reconfiguration) -> None:
+        self.check(trigger=f"reconfiguration:{rec.kind}#{rec.round_index}")
+
+    def check(self, trigger: str = "periodic") -> None:
+        """Run one full invariant sweep; raises on the first violation."""
+        self.checks += 1
+        self._check_layout(trigger)
+        self._check_half_occupancy(trigger)
+        self._check_orphans(trigger)
+        self._check_election(trigger)
+        self._check_conservation(trigger)
+
+    # ------------------------------------------------------------------ #
+    def _fail(self, invariant: str, detail: str) -> None:
+        artifact = ReplayArtifact(
+            seed=self.seed,
+            schedule=self.schedule,
+            time=float(self.now()),
+            invariant=invariant,
+            detail=detail,
+        )
+        self.violations.append(artifact)
+        raise ChaosInvariantError(
+            f"invariant {invariant!r} violated at t={artifact.time:.3f}: {detail} "
+            f"(replay with seed={self.seed})",
+            artifact,
+        )
+
+    def _check_layout(self, trigger: str) -> None:
+        try:
+            self.manager.layout.check_invariants(complete=True)
+        except InvariantViolation as exc:
+            self._fail("containment", f"[{trigger}] {exc}")
+
+    def _check_half_occupancy(self, trigger: str) -> None:
+        total = self.manager.layout.total_mapped
+        if abs(total - HALF) > _HALF_TOL:
+            self._fail(
+                "half-occupancy",
+                f"[{trigger}] mapped measure {total:.9f} != {HALF}",
+            )
+
+    def _check_orphans(self, trigger: str) -> None:
+        live = set(self.manager.layout.server_ids)
+        for name, sid in self.manager.assignments.items():
+            if sid not in live:
+                self._fail(
+                    "orphaned-fileset",
+                    f"[{trigger}] {name!r} assigned to departed server {sid!r}",
+                )
+
+    def _check_election(self, trigger: str) -> None:
+        if self.delegates is None:
+            return
+        office = {d for d in self.delegates() if d is not None}
+        if len(office) > 1:
+            self._fail(
+                "election-safety",
+                f"[{trigger}] {len(office)} delegates in office: {sorted(map(repr, office))}",
+            )
+
+    def _check_conservation(self, trigger: str) -> None:
+        client = self.client
+        if client is None:
+            return
+        balance = client.completed + client.failed + client.in_flight
+        if client.injected != balance:
+            self._fail(
+                "request-conservation",
+                f"[{trigger}] injected={client.injected} != completed={client.completed}"
+                f" + failed={client.failed} + in_flight={client.in_flight}",
+            )

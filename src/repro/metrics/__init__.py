@@ -3,6 +3,7 @@
 * :mod:`repro.metrics.latency` — Figures 4/5 series, Figure 6 stats
 * :mod:`repro.metrics.movement` — Figure 7 series
 * :mod:`repro.metrics.consistency` — §5.2.2 consistency quantification
+* :mod:`repro.metrics.robustness` — chaos-run robustness observables
 * :mod:`repro.metrics.summary` — cross-system tables + ASCII rendering
 """
 
@@ -21,6 +22,12 @@ from .latency import (
     steady_state_means,
 )
 from .movement import MovementSeries, front_loadedness, movement_series
+from .robustness import (
+    RobustnessReport,
+    consistency_cv_series,
+    consistency_recovery_time,
+    robustness_report,
+)
 from .sla import SLA, SLAReport, evaluate_sla
 from .summary import ascii_table, comparison_rows, format_float
 
@@ -39,6 +46,10 @@ __all__ = [
     "front_loadedness",
     "ConsistencyReport",
     "consistency_report",
+    "RobustnessReport",
+    "robustness_report",
+    "consistency_cv_series",
+    "consistency_recovery_time",
     "jain_index",
     "coefficient_of_variation",
     "ascii_table",

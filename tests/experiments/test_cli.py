@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
@@ -33,3 +35,34 @@ class TestCLI:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["--figure", "fig99"])
+
+
+class TestChaosSubcommand:
+    def test_smoke_run_writes_bench(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["chaos", "--seed", "3", "--smoke", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "robustness"
+        assert payload["seed"] == 3
+        assert len(payload["rows"]) == 1
+        row = payload["rows"][0]
+        assert row["invariant_violations"] == 0
+        assert row["detection_within_bound"]
+        assert "chaos sweep" in capsys.readouterr().out
+
+    def test_bench_is_bit_reproducible(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["chaos", "--seed", "5", "--smoke", "--out", str(a)]) == 0
+        assert main(["chaos", "--seed", "5", "--smoke", "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_custom_fault_rates(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            ["chaos", "--seed", "3", "--scale", "0.02",
+             "--fault-rates", "0.01", "0.02", "--out", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert [row["fault_rate"] for row in payload["rows"]] == [0.01, 0.02]

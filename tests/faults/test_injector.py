@@ -1,0 +1,119 @@
+"""The fault injector against a scripted stub target."""
+
+from __future__ import annotations
+
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+
+
+class StubTarget:
+    """Records every injection call with its simulated time."""
+
+    def __init__(self, env):
+        self.env = env
+        self.calls = []
+        self.delegate = "d0"
+        self.crash_ok = True
+        self.straggle_ok = True
+
+    def _log(self, *entry):
+        self.calls.append((self.env.now,) + entry)
+
+    def crash_server(self, sid):
+        self._log("crash", sid)
+        return self.crash_ok
+
+    def heal_server(self, sid):
+        self._log("heal", sid)
+
+    def current_delegate(self):
+        return self.delegate
+
+    def apply_partition(self, nodes):
+        self._log("partition", tuple(nodes))
+
+    def heal_partition(self):
+        self._log("heal-partition")
+
+    def apply_straggle(self, sid, factor):
+        self._log("straggle", sid, factor)
+        return self.straggle_ok
+
+    def heal_straggle(self, sid):
+        self._log("heal-straggle", sid)
+
+    def apply_link_faults(self, drop, dup, extra):
+        self._log("link", drop, dup, extra)
+
+    def heal_link_faults(self):
+        self._log("heal-link")
+
+
+def run_schedule(env, events, mutate=None):
+    target = StubTarget(env)
+    if mutate:
+        mutate(target)
+    injector = FaultInjector(env, target, FaultSchedule(events=tuple(events)))
+    env.run(until=1000.0)
+    return target, injector
+
+
+class TestInjection:
+    def test_crash_and_heal_at_scheduled_times(self, env):
+        target, injector = run_schedule(
+            env, [FaultEvent(10.0, FaultKind.CRASH, target=3, duration=25.0)]
+        )
+        assert target.calls == [(10.0, "crash", 3), (35.0, "heal", 3)]
+        assert injector.applied == [(10.0, FaultKind.CRASH, 3)]
+        assert injector.injected == 1 and injector.skipped == 0
+
+    def test_delegate_crash_resolves_victim_at_fire_time(self, env):
+        def mutate(target):
+            # The delegate changes before the fault fires.
+            env.schedule_at(5.0, lambda: setattr(target, "delegate", "d1"))
+
+        target, injector = run_schedule(
+            env,
+            [FaultEvent(10.0, FaultKind.DELEGATE_CRASH, duration=20.0)],
+            mutate=mutate,
+        )
+        assert (10.0, "crash", "d1") in target.calls
+        assert (30.0, "heal", "d1") in target.calls
+
+    def test_guarded_crash_skips_and_counts(self, env):
+        target, injector = run_schedule(
+            env,
+            [FaultEvent(10.0, FaultKind.CRASH, target=3, duration=25.0)],
+            mutate=lambda t: setattr(t, "crash_ok", False),
+        )
+        assert injector.injected == 0 and injector.skipped == 1
+        # No heal is scheduled for a skipped fault.
+        assert all(entry[1] != "heal" for entry in target.calls)
+
+    def test_partition_straggle_and_link_faults(self, env):
+        target, injector = run_schedule(
+            env,
+            [
+                FaultEvent(5.0, FaultKind.PARTITION, target=(1, 2), duration=10.0),
+                FaultEvent(8.0, FaultKind.STRAGGLE, target=4, duration=12.0, params=(0.25,)),
+                FaultEvent(9.0, FaultKind.LINK_FAULTS, duration=6.0, params=(0.1, 0.05, 0.01)),
+            ],
+        )
+        assert (5.0, "partition", (1, 2)) in target.calls
+        assert (15.0, "heal-partition") in target.calls
+        assert (8.0, "straggle", 4, 0.25) in target.calls
+        assert (20.0, "heal-straggle", 4) in target.calls
+        assert (9.0, "link", 0.1, 0.05, 0.01) in target.calls
+        assert (15.0, "heal-link") in target.calls
+        assert injector.injected == 3
+
+    def test_empty_partition_target_skipped(self, env):
+        _, injector = run_schedule(
+            env, [FaultEvent(5.0, FaultKind.PARTITION, target=(), duration=10.0)]
+        )
+        assert injector.skipped == 1
+
+    def test_straggle_default_factor(self, env):
+        target, _ = run_schedule(
+            env, [FaultEvent(5.0, FaultKind.STRAGGLE, target=1, duration=10.0)]
+        )
+        assert (5.0, "straggle", 1, 0.25) in target.calls
