@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.core import TuningPolicy
 from repro.experiments.config import paper_config
-from repro.experiments.runner import _fresh_workload, run_system
+from repro.experiments.runner import run_system
 from repro.metrics import ascii_table
 from repro.workloads import generate_synthetic
 
@@ -27,11 +27,11 @@ def _run_all(scale: float):
     for rule in RULES:
         out[rule] = run_system(
             "anu",
-            _fresh_workload(workload),
+            workload.fork(),
             config,
             tuning_policy=TuningPolicy(averaging=rule),
         )
-    out["simple"] = run_system("simple", _fresh_workload(workload), config)
+    out["simple"] = run_system("simple", workload.fork(), config)
     return out
 
 

@@ -17,10 +17,10 @@ movement to punitive and shows:
 
 from __future__ import annotations
 
-from repro.cluster import CacheConfig, ClusterConfig, ClusterSimulation
+from repro.cluster import CacheConfig, ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import HashFamily
 from repro.experiments.config import PAPER_POWERS
-from repro.experiments.runner import _fresh_workload
 from repro.metrics import ascii_table
 from repro.policies import ANURandomization
 from repro.workloads import SyntheticConfig, generate_synthetic
@@ -43,11 +43,11 @@ def _run_sweep(scale: float):
     out = {}
     for name, cache in SWEEP.items():
         policy = ANURandomization(list(PAPER_POWERS), hash_family=HashFamily(seed=0))
-        sim = ClusterSimulation(
-            _fresh_workload(workload),
+        sim = SimulationBuilder(
+            workload.fork(),
             policy,
             ClusterConfig(server_powers=dict(PAPER_POWERS), cache=cache),
-        )
+        ).build()
         out[name] = (sim.run(), sim.cache)
     return out
 

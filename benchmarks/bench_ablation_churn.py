@@ -12,10 +12,10 @@ cluster keeps serving throughout.
 
 from __future__ import annotations
 
-from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster import ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import HashFamily
 from repro.experiments.config import PAPER_POWERS
-from repro.experiments.runner import _fresh_workload
 from repro.metrics import ascii_table
 from repro.policies import ANURandomization
 from repro.workloads import SyntheticConfig, generate_synthetic
@@ -30,9 +30,9 @@ def _run_churn(scale: float):
     )
     workload = generate_synthetic(cfg, seed=BENCH_SEED)
     policy = ANURandomization(list(PAPER_POWERS), hash_family=HashFamily(seed=0))
-    sim = ClusterSimulation(
+    sim = SimulationBuilder(
         workload, policy, ClusterConfig(server_powers=dict(PAPER_POWERS))
-    )
+    ).build()
     # fail a mid server at 25% of the run, recover it at 60%
     sim.schedule_failure(duration * 0.25, 2)
     sim.schedule_recovery(duration * 0.60, 2)

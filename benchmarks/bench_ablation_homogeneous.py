@@ -15,9 +15,9 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster import ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import HashFamily
-from repro.experiments.runner import _fresh_workload
 from repro.metrics import ascii_table
 from repro.policies import ANURandomization, SimpleRandomization
 from repro.workloads import SyntheticConfig, generate_synthetic
@@ -42,8 +42,8 @@ def _run_pair(scale: float):
         ("simple", SimpleRandomization(list(EQUAL_POWERS), hash_family=HashFamily(seed=0))),
         ("anu", ANURandomization(list(EQUAL_POWERS), hash_family=HashFamily(seed=0))),
     ):
-        out[name] = ClusterSimulation(
-            _fresh_workload(workload), policy, cluster_cfg
+        out[name] = SimulationBuilder(
+            workload.fork(), policy, cluster_cfg
         ).run()
     return out
 

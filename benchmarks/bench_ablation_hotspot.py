@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster import ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import HashFamily
 from repro.experiments.config import PAPER_POWERS
-from repro.experiments.runner import _fresh_workload
 from repro.metrics import ascii_table
 from repro.policies import ANURandomization, DynamicPrescient
 from repro.workloads import ShiftConfig, SyntheticConfig, generate_shifting
@@ -36,13 +36,13 @@ def _run(scale: float):
     )
     workload, hot_sets = generate_shifting(cfg, seed=BENCH_SEED)
     anu_policy = ANURandomization(list(PAPER_POWERS), hash_family=HashFamily(seed=0))
-    anu = ClusterSimulation(
-        _fresh_workload(workload),
+    anu = SimulationBuilder(
+        workload.fork(),
         anu_policy,
         ClusterConfig(server_powers=dict(PAPER_POWERS)),
     ).run()
-    prescient = ClusterSimulation(
-        _fresh_workload(workload),
+    prescient = SimulationBuilder(
+        workload.fork(),
         DynamicPrescient(list(PAPER_POWERS)),
         ClusterConfig(server_powers=dict(PAPER_POWERS)),
     ).run()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.experiments.config import paper_config
-from repro.experiments.runner import _fresh_workload, run_system
+from repro.experiments.runner import run_system
 from repro.metrics import ascii_table
 from repro.workloads import generate_synthetic
 
@@ -31,7 +31,7 @@ def _run_all(scale: float):
     workload = generate_synthetic(base.synthetic_config(), seed=BENCH_SEED)
     for interval in INTERVALS:
         config = replace(base, tuning_interval=interval)
-        out[interval] = run_system("anu", _fresh_workload(workload), config)
+        out[interval] = run_system("anu", workload.fork(), config)
     return out
 
 

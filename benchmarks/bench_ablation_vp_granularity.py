@@ -12,10 +12,10 @@ floor. This bench regenerates that regime.
 
 from __future__ import annotations
 
-from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster import ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import HashFamily
 from repro.experiments.config import PAPER_POWERS
-from repro.experiments.runner import _fresh_workload
 from repro.metrics import ascii_table
 from repro.policies import DynamicPrescient, VirtualProcessorSystem
 from repro.workloads import SyntheticConfig, generate_synthetic
@@ -38,11 +38,11 @@ def _run_sweep(scale: float):
         policy = VirtualProcessorSystem(
             list(PAPER_POWERS), n_virtual=nv, hash_family=HashFamily(seed=0)
         )
-        out[f"vp{nv}"] = ClusterSimulation(
-            _fresh_workload(workload), policy, cluster_cfg
+        out[f"vp{nv}"] = SimulationBuilder(
+            workload.fork(), policy, cluster_cfg
         ).run()
-    out["prescient"] = ClusterSimulation(
-        _fresh_workload(workload), DynamicPrescient(list(PAPER_POWERS)), cluster_cfg
+    out["prescient"] = SimulationBuilder(
+        workload.fork(), DynamicPrescient(list(PAPER_POWERS)), cluster_cfg
     ).run()
     return out
 

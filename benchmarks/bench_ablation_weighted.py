@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster import ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import HashFamily
 from repro.experiments.config import PAPER_POWERS, paper_config
-from repro.experiments.runner import _fresh_workload, run_system
+from repro.experiments.runner import run_system
 from repro.metrics import ascii_table, steady_state_means
 from repro.policies import WeightedHashing
 from repro.workloads import generate_synthetic
@@ -32,12 +33,12 @@ def _run_all(scale: float):
     config = paper_config(seed=BENCH_SEED, scale=scale)
     workload = generate_synthetic(config.synthetic_config(), seed=BENCH_SEED)
     out = {
-        system: run_system(system, _fresh_workload(workload), config)
+        system: run_system(system, workload.fork(), config)
         for system in ("simple", "anu")
     }
     weighted = WeightedHashing(dict(PAPER_POWERS), hash_family=HashFamily(seed=0))
-    out["weighted"] = ClusterSimulation(
-        _fresh_workload(workload), weighted, config.cluster_config()
+    out["weighted"] = SimulationBuilder(
+        workload.fork(), weighted, config.cluster_config()
     ).run()
     return out
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.analysis import mean_sem
 from repro.experiments.config import paper_config
-from repro.experiments.runner import _fresh_workload, run_system
+from repro.experiments.runner import run_system
 from repro.metrics import ascii_table
 from repro.workloads import generate_synthetic
 
@@ -29,7 +29,7 @@ def _run_seeds(scale: float):
         config = paper_config(seed=seed, scale=scale)
         workload = generate_synthetic(config.synthetic_config(), seed=seed)
         out[seed] = {
-            system: run_system(system, _fresh_workload(workload), config)
+            system: run_system(system, workload.fork(), config)
             for system in ("simple", "anu", "prescient")
         }
     return out

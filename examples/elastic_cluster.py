@@ -17,7 +17,8 @@ Run:  python examples/elastic_cluster.py
 
 from __future__ import annotations
 
-from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster import ClusterConfig
+from repro.engine import SimulationBuilder
 from repro.core import required_partitions
 from repro.policies import ANURandomization
 from repro.workloads import SyntheticConfig, generate_synthetic
@@ -30,9 +31,9 @@ def main() -> None:
         SyntheticConfig(duration=3600.0, target_requests=20000), seed=8
     )
     policy = ANURandomization(list(POWERS))
-    sim = ClusterSimulation(
+    sim = SimulationBuilder(
         workload, policy, ClusterConfig(server_powers=POWERS)
-    )
+    ).build()
 
     # A day in the life: the big server leaves for another cluster at
     # t=15 min and comes back at t=40 min; a mid server crashes at 25.

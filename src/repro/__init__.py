@@ -6,16 +6,25 @@ heterogeneous shared-disk clusters, evaluated against simple
 randomization, a dynamic prescient optimum, and virtual processors on
 a discrete-event cluster simulator.
 
-Subpackages
+Subpackages (loaded lazily on first attribute access, so importing one
+layer never drags in the ones above it)
 -----------
 ``repro.sim``
     Discrete-event simulation kernel (the YACSIM substitute).
 ``repro.core``
     ANU randomization: hashing, interval geometry, tuning, delegate.
+``repro.engine``
+    The composable experiment engine: control-plane / client-path /
+    fault layers assembled by ``SimulationBuilder``, instrumented
+    through one probe bus.
 ``repro.cluster``
-    Shared-disk cluster model: file sets, heterogeneous servers, caches.
+    Shared-disk cluster model: file sets, heterogeneous servers, caches
+    (and the deprecated ``ClusterSimulation`` shims).
 ``repro.distributed``
     Control plane: messages, delegate election, heartbeats.
+``repro.faults``
+    Fault schedules, injection, invariants (and the deprecated
+    ``ChaosClusterSimulation`` shim).
 ``repro.policies``
     Load managers: ANU + the paper's three baselines (+ a table-based
     reference for shared-state accounting).
@@ -27,19 +36,35 @@ Subpackages
     The figure-by-figure reproduction harness.
 """
 
+from __future__ import annotations
+
+import importlib
+
 __version__ = "1.0.0"
 
-from . import analysis, cluster, core, distributed, experiments, metrics, policies, sim, workloads
-
-__all__ = [
+_SUBPACKAGES = (
     "analysis",
     "cluster",
     "core",
     "distributed",
+    "engine",
     "experiments",
+    "faults",
     "metrics",
     "policies",
     "sim",
     "workloads",
-    "__version__",
-]
+)
+
+__all__ = list(_SUBPACKAGES) + ["__version__"]
+
+
+def __getattr__(name: str):
+    """Import subpackages on first access (PEP 562 lazy re-export)."""
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

@@ -12,24 +12,57 @@ striped shared-disk data path behind a SAN.
 * :class:`RequestDriver` / :class:`AccessClient` — workload replay
 * :class:`SharedDisk` / :class:`DiskArray` — the data path
 * :class:`ClusterSimulation` / :class:`ClusterConfig` /
-  :class:`ClusterResult` — the experiment driver
+  :class:`ClusterResult` — deprecated driver shims over
+  :mod:`repro.engine`
+
+The driver/client names are re-exported *lazily* (PEP 562): they live
+in modules that subclass :class:`repro.engine.engine.ClusterEngine`,
+and loading those eagerly here would cycle — the engine's layers import
+the cluster *model* modules (``fileset``, ``server``, ``cache``), which
+land in this package first.
 """
 
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
 from .cache import CacheConfig, CacheModel
-from .client import (
-    AccessClient,
-    HardenedClient,
-    HardenedRequestDriver,
-    RequestDriver,
-    RetryPolicy,
-)
-from .cluster import ClusterConfig, ClusterResult, ClusterSimulation, MovementRecord
 from .disk import DiskArray, SharedDisk
-from .distributed_cluster import DistributedClusterSimulation
 from .fileset import FileSet, FileSetCatalog
 from .namespace import Namespace, normalize_path
 from .request import MetadataRequest
 from .server import FileServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .client import (
+        AccessClient,
+        HardenedClient,
+        HardenedRequestDriver,
+        RequestDriver,
+        RetryPolicy,
+    )
+    from .cluster import (
+        ClusterConfig,
+        ClusterResult,
+        ClusterSimulation,
+        MovementRecord,
+    )
+    from .distributed_cluster import DistributedClusterSimulation
+
+#: Lazily re-exported name -> defining submodule.
+_LAZY = {
+    "AccessClient": "client",
+    "HardenedClient": "client",
+    "HardenedRequestDriver": "client",
+    "RequestDriver": "client",
+    "RetryPolicy": "client",
+    "ClusterConfig": "cluster",
+    "ClusterResult": "cluster",
+    "ClusterSimulation": "cluster",
+    "MovementRecord": "cluster",
+    "DistributedClusterSimulation": "distributed_cluster",
+}
 
 __all__ = [
     "FileSet",
@@ -53,3 +86,17 @@ __all__ = [
     "Namespace",
     "normalize_path",
 ]
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is not None:
+        module = importlib.import_module(f".{submodule}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value  # cache: subsequent lookups skip __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

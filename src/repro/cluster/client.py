@@ -1,17 +1,14 @@
 """Clients: request replay and the full metadata-then-data access path.
 
-:class:`RequestDriver` replays a pre-generated request schedule into
-the cluster, routing each request through the active placement policy
-at its arrival instant (so placement changes take effect for new
-arrivals immediately, while already-queued requests finish where they
-are — matching the paper's shed semantics).
-
-:class:`HardenedClient` is the fault-tolerant request path the chaos
-harness drives: per-request completion timeout, capped exponential
-backoff with seeded jitter, and re-locate-and-redirect when the target
-server is down or suspected. Every retry and redirect is counted, and
-the client's ledger (``injected = completed + failed + in_flight``) is
-one of the invariants the chaos harness checks continuously.
+The drivers themselves live in :mod:`repro.engine.client_path` now —
+one :class:`~repro.engine.client_path.RequestDriver` covering both the
+basic (route-once) and hardened (retry/redirect) replay paths, and one
+shared locate-retry-redirect core
+(:func:`~repro.engine.client_path.drive_attempts`) behind both
+:class:`~repro.engine.client_path.HardenedClient` and
+:class:`AccessClient`. This module re-exports them under their
+historical names and keeps :class:`HardenedRequestDriver` as a
+deprecated alias for ``RequestDriver(..., client=...)``.
 
 :class:`AccessClient` models the complete shared-disk access of §3:
 metadata request to a file server, then a data transfer from the
@@ -22,10 +19,15 @@ measure the metadata tier only).
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+import warnings
+from typing import Callable, Optional, Sequence
 
+from ..engine.client_path import (
+    HardenedClient,
+    RequestDriver,
+    RetryPolicy,
+    drive_attempts,
+)
 from ..sim import Simulator, Tally
 from .disk import DiskArray
 from .request import MetadataRequest
@@ -34,243 +36,11 @@ from .server import FileServer
 __all__ = ["RequestDriver", "RetryPolicy", "HardenedClient", "HardenedRequestDriver", "AccessClient"]
 
 
-class RequestDriver:
-    """Replays a time-ordered request schedule into the cluster.
+class HardenedRequestDriver(RequestDriver):
+    """Deprecated: ``RequestDriver(env, schedule, client=client)``.
 
-    Parameters
-    ----------
-    env:
-        The simulator.
-    schedule:
-        Requests sorted by arrival time.
-    route:
-        ``route(request) -> FileServer`` — resolves the file set's
-        current server *at arrival time* and returns the server object.
-        Returning ``None`` drops the request (counted).
-    """
-
-    def __init__(
-        self,
-        env: Simulator,
-        schedule: Sequence[MetadataRequest],
-        route: Callable[[MetadataRequest], Optional[FileServer]],
-    ) -> None:
-        self.env = env
-        self.schedule = list(schedule)
-        if any(
-            b.arrival < a.arrival for a, b in zip(self.schedule, self.schedule[1:])
-        ):
-            raise ValueError("request schedule must be sorted by arrival time")
-        self.route = route
-        #: Requests submitted so far.
-        self.submitted = 0
-        #: Requests dropped because routing returned ``None``.
-        self.dropped = 0
-        self.process = env.process(self._replay())
-
-    def _replay(self):
-        for request in self.schedule:
-            delay = request.arrival - self.env.now
-            if delay > 0:
-                yield self.env.timeout(delay)
-            server = self.route(request)
-            if server is None:
-                self.dropped += 1
-                continue
-            server.submit(request)
-            self.submitted += 1
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Client-side request-hardening knobs.
-
-    Attributes
-    ----------
-    request_timeout:
-        Seconds to wait on a submitted attempt before re-evaluating the
-        target's health. A healthy-but-slow server is *not* abandoned
-        (FIFO guarantees progress); only a failed or suspected target
-        triggers a redirect, so no work is duplicated on live servers.
-    max_attempts:
-        Total placement attempts (initial + retries) before the request
-        is declared failed.
-    backoff_base / backoff_cap:
-        Exponential backoff between attempts: ``base · 2^(attempt-1)``
-        seconds, capped at ``backoff_cap``.
-    jitter:
-        Fraction of each backoff randomized (``0`` = deterministic
-        full backoff, ``0.5`` = uniform in ``[0.5·b, b]``). Drawn from
-        the client's seeded rng, so runs replay bit-identically.
-    """
-
-    request_timeout: float = 10.0
-    max_attempts: int = 10
-    backoff_base: float = 0.25
-    backoff_cap: float = 5.0
-    jitter: float = 0.5
-
-    def __post_init__(self) -> None:
-        if self.request_timeout <= 0:
-            raise ValueError(f"request_timeout must be > 0, got {self.request_timeout}")
-        if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
-        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
-            raise ValueError(
-                f"need 0 < backoff_base <= backoff_cap, got "
-                f"{self.backoff_base}/{self.backoff_cap}"
-            )
-        if not 0.0 <= self.jitter <= 1.0:
-            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
-
-    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
-        """Backoff before retry number ``attempt`` (1-based), jittered."""
-        base = min(self.backoff_cap, self.backoff_base * (2.0 ** max(0, attempt - 1)))
-        if rng is None or self.jitter == 0.0:
-            return base
-        return base * (1.0 - self.jitter * rng.random())
-
-
-class HardenedClient:
-    """Retrying, redirecting request submission path.
-
-    Parameters
-    ----------
-    env:
-        The simulator.
-    route:
-        ``route(request) -> Optional[FileServer]`` — resolves the file
-        set's *current* server; re-consulted before every attempt, so a
-        reconfiguration redirects the next retry automatically.
-    policy:
-        Retry/backoff/timeout configuration.
-    rng:
-        Seeded :class:`random.Random` for backoff jitter (``None``
-        disables jitter).
-    suspected:
-        Optional ``() -> set`` of server ids currently suspected by the
-        failure detector; the client refuses to wait on (and redirects
-        away from) suspected targets.
-    """
-
-    def __init__(
-        self,
-        env: Simulator,
-        route: Callable[[MetadataRequest], Optional[FileServer]],
-        policy: Optional[RetryPolicy] = None,
-        rng: Optional[random.Random] = None,
-        suspected: Optional[Callable[[], Set[object]]] = None,
-    ) -> None:
-        self.env = env
-        self.route = route
-        self.policy = policy or RetryPolicy()
-        self.rng = rng
-        self.suspected = suspected
-        #: Logical requests handed to the client.
-        self.injected = 0
-        #: Logical requests that completed (first successful attempt).
-        self.completed = 0
-        #: Logical requests abandoned after ``max_attempts``.
-        self.failed = 0
-        #: Logical requests currently being driven.
-        self.in_flight = 0
-        #: Re-submissions after a failed/suspected/unroutable attempt.
-        self.retries = 0
-        #: Retries that landed on a *different* server than the last try.
-        self.redirects = 0
-        #: Attempts abandoned because the timeout found the target dead.
-        self.timeouts = 0
-        #: End-to-end latency of every completed logical request.
-        self.latency = Tally(keep=True)
-
-    # ------------------------------------------------------------------ #
-    def submit(self, request: MetadataRequest):
-        """Drive one logical request to completion (or exhaustion)."""
-        self.injected += 1
-        self.in_flight += 1
-        return self.env.process(self._drive(request))
-
-    # ------------------------------------------------------------------ #
-    def _is_suspected(self, server: FileServer) -> bool:
-        return self.suspected is not None and server.server_id in self.suspected()
-
-    def _drive(self, request: MetadataRequest):
-        policy = self.policy
-        attempts = 0
-        last_target: Optional[object] = None
-        while attempts < policy.max_attempts:
-            attempts += 1
-            server = self.route(request)
-            if server is None or server.failed or self._is_suspected(server):
-                # No live owner right now (stale mapping or mid-failover):
-                # back off and re-locate.
-                self.retries += 1
-                yield self.env.timeout(policy.backoff(attempts, self.rng))
-                continue
-            if last_target is not None and server.server_id != last_target:
-                self.redirects += 1
-            last_target = server.server_id
-            # A pristine attempt copy: the original request's arrival is
-            # preserved so measured latency includes every retry delay.
-            attempt = MetadataRequest(
-                fileset=request.fileset, arrival=request.arrival, work=request.work
-            )
-            done = self.env.event()
-            attempt.on_complete = lambda req, ev=done: ev.succeed(req)
-            incarnation = server.incarnation
-            server.submit(attempt)
-            abandoned = False
-            while not attempt.done:
-                timeout = self.env.timeout(policy.request_timeout)
-                yield self.env.any_of([done, timeout])
-                if attempt.done:
-                    break
-                if (
-                    server.failed
-                    or server.incarnation != incarnation
-                    or self._is_suspected(server)
-                ):
-                    # The attempt died with its server (a crash discards
-                    # the queue — even if it has recovered since, this
-                    # attempt is gone); abandon and redirect.
-                    self.timeouts += 1
-                    abandoned = True
-                    break
-                # Healthy but slow: keep waiting — FIFO guarantees the
-                # attempt is still making progress toward the head.
-            if not abandoned:
-                request.server = attempt.server
-                request.service_start = attempt.service_start
-                request.completion = attempt.completion
-                self.completed += 1
-                self.in_flight -= 1
-                self.latency.observe(attempt.latency)
-                if request.on_complete is not None:
-                    request.on_complete(request)
-                return
-            self.retries += 1
-            yield self.env.timeout(policy.backoff(attempts, self.rng))
-        self.failed += 1
-        self.in_flight -= 1
-
-    # ------------------------------------------------------------------ #
-    @property
-    def conserved(self) -> bool:
-        """The request-conservation ledger: injected == done + pending."""
-        return self.injected == self.completed + self.failed + self.in_flight
-
-    @property
-    def retries_per_request(self) -> float:
-        """Mean retries per injected logical request."""
-        return self.retries / self.injected if self.injected else 0.0
-
-
-class HardenedRequestDriver:
-    """Replays a request schedule through a :class:`HardenedClient`.
-
-    Drop-in for :class:`RequestDriver` in the chaos harness: same
-    ``submitted`` surface, but every request gets the retry/redirect
-    treatment instead of being dropped when routing fails.
+    The hardened replay loop is the same unified driver with a client
+    instead of a route; this name survives only for legacy callers.
     """
 
     def __init__(
@@ -279,31 +49,14 @@ class HardenedRequestDriver:
         schedule: Sequence[MetadataRequest],
         client: HardenedClient,
     ) -> None:
-        self.env = env
-        self.schedule = list(schedule)
-        if any(
-            b.arrival < a.arrival for a, b in zip(self.schedule, self.schedule[1:])
-        ):
-            raise ValueError("request schedule must be sorted by arrival time")
-        self.client = client
-        self.process = env.process(self._replay())
-
-    def _replay(self):
-        for request in self.schedule:
-            delay = request.arrival - self.env.now
-            if delay > 0:
-                yield self.env.timeout(delay)
-            self.client.submit(request)
-
-    @property
-    def submitted(self) -> int:
-        """Logical requests handed to the client so far."""
-        return self.client.injected
-
-    @property
-    def dropped(self) -> int:
-        """The hardened path never silently drops; failures are counted."""
-        return self.client.failed
+        if type(self) is HardenedRequestDriver:
+            warnings.warn(
+                "HardenedRequestDriver is deprecated; use "
+                "RequestDriver(env, schedule, client=client)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        super().__init__(env, schedule, client=client)
 
 
 class AccessClient:
@@ -316,6 +69,11 @@ class AccessClient:
     metadata lands in :attr:`metadata_share` — the quantity behind the
     paper's motivation that "clients blocked on metadata may leave the
     high bandwidth SAN underutilized" (§3).
+
+    The metadata phase rides the same
+    :func:`~repro.engine.client_path.drive_attempts` core as
+    :class:`HardenedClient` (without a retry policy: one locate, one
+    submission, an unroutable file set raises).
     """
 
     def __init__(
@@ -337,13 +95,7 @@ class AccessClient:
     def _access(self, fileset: str, meta_work: float, data_size: float):
         start = self.env.now
         request = MetadataRequest(fileset=fileset, arrival=start, work=meta_work)
-        server = self.route(request)
-        if server is None:
-            raise RuntimeError(f"no server for file set {fileset!r}")
-        done = self.env.event()
-        request.on_complete = lambda req: done.succeed(req)
-        server.submit(request)
-        yield done
+        yield from drive_attempts(self.env, self.route, request)
         meta_done = self.env.now
         yield self.disks.read(data_size)
         total = self.env.now - start

@@ -1,44 +1,31 @@
-"""The shared-disk cluster simulation driver.
+"""Deprecated shim: the legacy cluster-simulation entry point.
 
-:class:`ClusterSimulation` wires a workload, a set of heterogeneous
-file servers, and a placement policy into one experiment:
+The simulation driver now lives in :mod:`repro.engine`:
+:class:`~repro.engine.engine.ClusterEngine` assembled by
+:class:`~repro.engine.builder.SimulationBuilder`. This module keeps the
+old names importable — :class:`ClusterConfig`, :class:`ClusterResult`,
+:class:`MovementRecord` re-exported from
+:mod:`repro.engine.record`, and :class:`ClusterSimulation` as a thin
+deprecated subclass of the engine with the default layers (direct
+control plane, basic client path, no faults) — exactly what the legacy
+class was.
 
-* a :class:`~repro.cluster.client.RequestDriver` replays the workload,
-  routing each request through the policy at its arrival instant;
-* a tuning process fires every ``tuning_interval`` seconds (two minutes
-  in the paper): servers report their interval latency, the policy
-  rebalances, and every resulting move is charged its cache costs
-  (flush work at the source, cold cache at the target);
-* failures/recoveries can be injected at scheduled times for the churn
-  experiments.
+Migration::
 
-The run returns a :class:`ClusterResult` carrying everything the
-paper's figures need: per-server latency time series (Figures 4, 5),
-whole-run aggregate and per-server latency statistics (Figure 6), the
-per-round movement log (Figure 7), and the shared-state size
-(Figure 8 / §5.4).
+    # before
+    result = ClusterSimulation(workload, policy, config).run()
+    # after
+    result = SimulationBuilder(workload, policy, config).build().run()
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+import warnings
+from typing import TYPE_CHECKING
 
-import numpy as np
-
-from ..core.tuning import LatencyReport
-from ..policies.base import (
-    LazyKnowledge,
-    LoadManager,
-    Move,
-    PrescientKnowledge,
-    RebalanceContext,
-)
-from ..sim import Simulator, Tally, TimeSeries
-from .cache import CacheConfig, CacheModel
-from .client import RequestDriver
-from .request import MetadataRequest
-from .server import FileServer
+from ..engine.engine import ClusterEngine
+from ..engine.record import ClusterConfig, ClusterResult, MovementRecord
+from ..policies.base import LoadManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..workloads.synthetic import Workload
@@ -46,122 +33,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ClusterConfig", "MovementRecord", "ClusterResult", "ClusterSimulation"]
 
 
-@dataclass(frozen=True)
-class ClusterConfig:
-    """Static configuration of one cluster experiment.
+class ClusterSimulation(ClusterEngine):
+    """Deprecated: use :class:`repro.engine.SimulationBuilder`.
 
-    Attributes
-    ----------
-    server_powers:
-        Ordered map server id → processing power. The paper's cluster is
-        ``{0: 1, 1: 3, 2: 5, 3: 7, 4: 9}``.
-    tuning_interval:
-        Seconds between tuning rounds (paper: 120 s, "to avoid
-        over-tuning while still providing responsiveness").
-    cache:
-        Cost model for file-set movement.
-    supply_knowledge:
-        Whether to compute the prescient oracle each round. The driver
-        always *offers* it; only prescient-class policies read it.
+    A real subclass (not a wrapper), so class-level patching and
+    ``isinstance`` checks against the legacy name keep working. The
+    warning fires exactly once per construction — subclasses (the other
+    shims) warn under their own names instead.
     """
-
-    server_powers: Dict[object, float]
-    tuning_interval: float = 120.0
-    cache: CacheConfig = field(default_factory=CacheConfig)
-    supply_knowledge: bool = True
-
-    def __post_init__(self) -> None:
-        if not self.server_powers:
-            raise ValueError("need at least one server")
-        if any(p <= 0 for p in self.server_powers.values()):
-            raise ValueError("server powers must be > 0")
-        if self.tuning_interval <= 0:
-            raise ValueError(f"tuning_interval must be > 0: {self.tuning_interval}")
-
-
-@dataclass(frozen=True)
-class MovementRecord:
-    """Movement caused by one reconfiguration (tuning round or churn)."""
-
-    round_index: int
-    time: float
-    kind: str
-    moves: int
-    moved_work_share: float
-
-
-@dataclass
-class ClusterResult:
-    """Everything measured during one cluster run."""
-
-    policy_name: str
-    config: ClusterConfig
-    duration: float
-    #: Per-server time series of per-interval mean latency.
-    server_latency: Dict[object, TimeSeries]
-    #: Per-server whole-run latency tallies.
-    server_tally: Dict[object, Tally]
-    #: Per-server completed-request counts.
-    server_requests: Dict[object, int]
-    #: Per-server busy-time utilization over the run.
-    server_utilization: Dict[object, float]
-    #: One record per reconfiguration.
-    movement: List[MovementRecord]
-    #: Replicated shared-state size (entries) at end of run.
-    shared_state_entries: int
-    #: Requests submitted / completed / still queued at the end.
-    submitted: int
-    completed: int
-    #: Latency of every completed request (aggregate figures).
-    all_latencies: np.ndarray
-    #: Kernel events processed during the run (determinism fingerprint:
-    #: two runs of the same experiment must process the same count).
-    events_processed: int = 0
-
-    # ------------------------------------------------------------------ #
-    @property
-    def aggregate_mean_latency(self) -> float:
-        """Mean latency over all completed requests (Figure 6a)."""
-        return float(self.all_latencies.mean()) if self.all_latencies.size else float("nan")
-
-    @property
-    def aggregate_std_latency(self) -> float:
-        """Standard deviation of request latency (Figure 6a error bars)."""
-        return float(self.all_latencies.std(ddof=1)) if self.all_latencies.size > 1 else float("nan")
-
-    @property
-    def per_server_mean_latency(self) -> Dict[object, float]:
-        """Mean latency of requests served by each server (Figure 6b)."""
-        return {sid: t.mean for sid, t in self.server_tally.items()}
-
-    @property
-    def unfinished(self) -> int:
-        """Requests that never completed (overloaded-server backlog)."""
-        return self.submitted - self.completed
-
-    @property
-    def total_moves(self) -> int:
-        """File-set moves across all reconfigurations (Figure 7 total)."""
-        return sum(m.moves for m in self.movement)
-
-    @property
-    def total_moved_work_share(self) -> float:
-        """Cumulative share of total workload moved (Figure 7, right axis)."""
-        return sum(m.moved_work_share for m in self.movement)
-
-    def request_share(self, server_id: object) -> float:
-        """Fraction of all completed requests served by ``server_id``.
-
-        Reproduces the paper's server-0 observation: "server 0 served
-        only 248 requests (0.37%) out of the total 66,401" (§5.2.2).
-        """
-        if not self.completed:
-            return float("nan")
-        return self.server_requests.get(server_id, 0) / self.completed
-
-
-class ClusterSimulation:
-    """One policy × one workload × one cluster configuration."""
 
     def __init__(
         self,
@@ -169,181 +48,11 @@ class ClusterSimulation:
         policy: LoadManager,
         config: ClusterConfig,
     ) -> None:
-        self.workload = workload
-        self.policy = policy
-        self.config = config
-        self.env = Simulator()
-        self.cache = CacheModel(config.cache)
-        self.servers: Dict[object, FileServer] = {
-            sid: FileServer(self.env, sid, power, cache=self.cache)
-            for sid, power in config.server_powers.items()
-        }
-        self.movement: List[MovementRecord] = []
-        self._round = 0
-        # Initial placement before t=0 (prescient systems are balanced
-        # "from the very beginning, time 0", §5.2.1). The oracle is
-        # offered lazily: the catalog scan only runs if the policy
-        # actually reads it.
-        knowledge = (
-            LazyKnowledge(lambda: self._knowledge(0.0))
-            if config.supply_knowledge
-            else None
-        )
-        self.policy.initial_placement(workload.catalog, knowledge)
-        self.driver = self._make_driver()
-        self._tuner = self.env.process(self._tuning_loop())
-
-    def _make_driver(self):
-        """Build the request driver (overridden by the chaos harness to
-        substitute the retrying :class:`~repro.cluster.client.HardenedClient`
-        path)."""
-        return RequestDriver(self.env, self.workload.requests, self._route)
-
-    # ------------------------------------------------------------------ #
-    # routing and knowledge
-    # ------------------------------------------------------------------ #
-    def _route(self, request: MetadataRequest) -> Optional[FileServer]:
-        sid = self.policy.locate(request.fileset)
-        server = self.servers.get(sid)
-        if server is None or server.failed:
-            return None
-        return server
-
-    def _knowledge(self, t0: float) -> PrescientKnowledge:
-        """Oracle for the interval starting at ``t0``."""
-        t1 = t0 + self.config.tuning_interval
-        interval = self.config.tuning_interval
-        return PrescientKnowledge(
-            server_powers={
-                sid: srv.power for sid, srv in self.servers.items() if not srv.failed
-            },
-            upcoming_work=self.workload.work_between(t0, t1),
-            average_work={
-                name: self.workload.catalog.get(name).total_work
-                / self.workload.duration
-                * interval
-                for name in self.workload.catalog.names
-            },
-        )
-
-    # ------------------------------------------------------------------ #
-    # the tuning loop
-    # ------------------------------------------------------------------ #
-    def _tuning_loop(self):
-        interval = self.config.tuning_interval
-        while True:
-            yield self.env.timeout(interval)
-            reports: List[LatencyReport] = []
-            observed: Dict[str, float] = {}
-            for srv in self.servers.values():
-                if srv.failed:
-                    continue
-                reports.append(srv.interval_report())
-                for fs, work in srv.drain_fileset_work().items():
-                    observed[fs] = observed.get(fs, 0.0) + work
-            self._round += 1
-            # Offered, not computed: LazyKnowledge defers the O(catalog)
-            # oracle build until a prescient-class policy reads it, so
-            # simple/ANU/table rounds skip the work entirely.
-            t0 = self.env.now
-            ctx = RebalanceContext(
-                now=t0,
-                round_index=self._round,
-                reports=reports,
-                knowledge=LazyKnowledge(lambda: self._knowledge(t0))
-                if self.config.supply_knowledge
-                else None,
-                observed_fileset_work=observed,
+        if type(self) is ClusterSimulation:
+            warnings.warn(
+                "ClusterSimulation is deprecated; assemble a ClusterEngine "
+                "with repro.engine.SimulationBuilder instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            moves = self.policy.rebalance(ctx)
-            self._apply_moves(moves, kind="tune")
-
-    def _apply_moves(self, moves: Sequence[Move], kind: str) -> None:
-        moved_share = 0.0
-        for move in moves:
-            fs = self.workload.catalog.get(move.fileset)
-            moved_share += self.workload.catalog.work_share(move.fileset)
-            flush = self.cache.on_shed(
-                move.fileset,
-                move.source,
-                move.target,
-                self.env.now,
-                fs.mean_request_work,
-            )
-            source = self.servers.get(move.source)
-            if source is not None and not source.failed:
-                source.charge_flush(flush)
-        self.movement.append(
-            MovementRecord(
-                round_index=self._round,
-                time=self.env.now,
-                kind=kind,
-                moves=len(moves),
-                moved_work_share=moved_share,
-            )
-        )
-
-    # ------------------------------------------------------------------ #
-    # churn injection
-    # ------------------------------------------------------------------ #
-    def schedule_failure(self, time: float, server_id: object) -> None:
-        """Fail ``server_id`` at simulated ``time`` (before :meth:`run`)."""
-        self.env.schedule_at(time, lambda: self._fail_now(server_id))
-
-    def schedule_recovery(self, time: float, server_id: object) -> None:
-        """Recover ``server_id`` at simulated ``time``."""
-        self.env.schedule_at(time, lambda: self._recover_now(server_id))
-
-    def _fail_now(self, server_id: object) -> None:
-        server = self.servers[server_id]
-        orphans = server.fail()
-        moves = self.policy.server_failed(server_id)
-        self._apply_moves(moves, kind="fail")
-        # Clients re-issue the dropped requests to the new owners.
-        for request in orphans:
-            target = self._route(request)
-            if target is not None:
-                target.submit(request)
-
-    def _recover_now(self, server_id: object) -> None:
-        server = self.servers[server_id]
-        server.recover()
-        moves = self.policy.server_added(server_id, power_hint=server.power)
-        self._apply_moves(moves, kind="recover")
-
-    # ------------------------------------------------------------------ #
-    def run(self, until: Optional[float] = None) -> ClusterResult:
-        """Execute the simulation and collect results.
-
-        Runs until ``until`` (default: the workload duration). The
-        tuning loop is perpetual, so the run is always bounded by the
-        deadline rather than calendar exhaustion.
-        """
-        horizon = until if until is not None else self.workload.duration
-        self.env.run(until=horizon)
-        all_lat = (
-            np.concatenate(
-                [srv.completed.samples for srv in self.servers.values()]
-            )
-            if self.servers
-            else np.empty(0)
-        )
-        return ClusterResult(
-            policy_name=self.policy.name,
-            config=self.config,
-            duration=horizon,
-            server_latency={sid: s.latency_series for sid, s in self.servers.items()},
-            server_tally={sid: s.completed for sid, s in self.servers.items()},
-            server_requests={
-                sid: s.completed_requests for sid, s in self.servers.items()
-            },
-            server_utilization={
-                sid: s.utilization(horizon) for sid, s in self.servers.items()
-            },
-            movement=list(self.movement),
-            shared_state_entries=self.policy.shared_state_entries(),
-            submitted=self.driver.submitted,
-            completed=sum(s.completed_requests for s in self.servers.values()),
-            all_latencies=all_lat,
-            events_processed=self.env.events_processed,
-        )
+        super().__init__(workload, policy, config)

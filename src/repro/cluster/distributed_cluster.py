@@ -1,30 +1,31 @@
-"""Cluster simulation driven through the real control plane.
+"""Deprecated shim: cluster simulation through the real control plane.
 
-The figure experiments call the placement policy's ``rebalance``
-directly — a faithful shortcut, because the delegate is a pure function
-of the reports. :class:`DistributedClusterSimulation` removes the
-shortcut for ANU runs: every tuning round flows as messages over the
-simulated :class:`~repro.distributed.network.Network` to an elected
-delegate (via :class:`DistributedTuningService`), heartbeats watch the
-servers, and delegate crashes trigger re-election mid-experiment.
+The message-level tuning path is now the
+:class:`~repro.engine.control.DistributedControlPlane` layer of a
+:class:`~repro.engine.engine.ClusterEngine`.
+:class:`DistributedClusterSimulation` survives as a thin deprecated
+subclass assembling exactly that composition.
 
-Its purpose is to *demonstrate* the §4 fault-tolerance claim end to
-end: an experiment in which the delegate dies produces the same
-placement decisions as one in which it does not, because the delegate
-carries no state a fail-over could lose. The integration tests assert
-exactly that.
+Migration::
+
+    # before
+    sim = DistributedClusterSimulation(wl, policy, cfg, delegate_crashes=[200.0])
+    # after
+    sim = (SimulationBuilder(wl, policy, cfg)
+           .distributed(delegate_crashes=[200.0])
+           .build())
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+import warnings
+from typing import List, Optional, TYPE_CHECKING
 
-from ..core.tuning import LatencyReport
-from ..distributed.control import DistributedTuningService
-from ..distributed.network import Network
+from ..engine.control import DistributedControlPlane
+from ..engine.engine import ClusterEngine
+from ..engine.record import ClusterConfig
 from ..policies.anu import ANURandomization
-from ..policies.base import Move
-from .cluster import ClusterConfig, ClusterResult, ClusterSimulation
+from .cluster import ClusterSimulation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..workloads.synthetic import Workload
@@ -33,20 +34,17 @@ __all__ = ["DistributedClusterSimulation"]
 
 
 class DistributedClusterSimulation(ClusterSimulation):
-    """ANU cluster experiment with message-level tuning rounds.
+    """Deprecated: use ``SimulationBuilder(...).distributed(...)``.
 
     Parameters
     ----------
     workload, policy, config:
-        As for :class:`ClusterSimulation`; ``policy`` must be
-        :class:`ANURandomization` (the control plane speaks ANU's
-        protocol — reports in, interval mapping out).
+        As for the engine; ``policy`` must be :class:`ANURandomization`
+        (the control plane speaks ANU's protocol — reports in, interval
+        mapping out).
     delegate_crashes:
-        Simulated times at which the *current* delegate crashes. The
-        crash downs the node on the network (so the next round must
-        re-elect) without failing its file server — modeling a control-
-        plane fault rather than a data-plane one, which is the pure
-        fail-over case the §4 claim addresses.
+        Simulated times at which the *current* delegate crashes (see
+        :class:`~repro.engine.control.DistributedControlPlane`).
     """
 
     def __init__(
@@ -56,72 +54,22 @@ class DistributedClusterSimulation(ClusterSimulation):
         config: ClusterConfig,
         delegate_crashes: Optional[List[float]] = None,
     ) -> None:
+        if type(self) is DistributedClusterSimulation:
+            warnings.warn(
+                "DistributedClusterSimulation is deprecated; use "
+                "repro.engine.SimulationBuilder(...).distributed(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if not isinstance(policy, ANURandomization):
             raise TypeError(
                 "the distributed control plane drives ANU; got "
                 f"{type(policy).__name__}"
             )
-        super().__init__(workload, policy, config)
-        self.network = self._make_network()
-        self._pending_reports: List[LatencyReport] = []
-        self.service = DistributedTuningService(
-            self.env,
-            self.network,
-            policy.manager,
-            collect_reports=lambda: self._pending_reports,
+        ClusterEngine.__init__(
+            self,
+            workload,
+            policy,
+            config,
+            control=DistributedControlPlane(delegate_crashes=delegate_crashes),
         )
-        #: Delegates in office over the run (first entry = initial).
-        self.delegate_history: List[object] = [self.service.delegate_id]
-        for t in delegate_crashes or []:
-            self.env.schedule_at(t, self._crash_delegate)
-
-    # ------------------------------------------------------------------ #
-    def _make_network(self) -> Network:
-        """Build the control-plane network (the chaos harness overrides
-        this to hand in a seeded, fault-capable network)."""
-        return Network(self.env)
-
-    # ------------------------------------------------------------------ #
-    def _crash_delegate(self) -> None:
-        victim = self.service.fail_delegate()
-        # The node is gone from the control plane only; it rejoins after
-        # the next tuning round has re-elected (1.5 intervals), so the
-        # experiment measures pure delegate fail-over. (Server-failure
-        # churn is exercised through schedule_failure as usual.)
-        self.env.schedule_at(
-            self.env.now + 1.5 * self.config.tuning_interval,
-            lambda: self.network.set_down(victim, False),
-        )
-
-    # ------------------------------------------------------------------ #
-    def _tuning_loop(self):
-        """Override: tune through the service instead of policy.rebalance."""
-        interval = self.config.tuning_interval
-        while True:
-            yield self.env.timeout(interval)
-            reports: List[LatencyReport] = []
-            for srv in self.servers.values():
-                if srv.failed:
-                    continue
-                reports.append(srv.interval_report())
-                srv.drain_fileset_work()
-            self._round += 1
-            self._pending_reports = reports
-            before = self.policy.manager.assignments
-            rec = self.service.run_round()
-            moves = [
-                Move(s.fileset, s.source, s.target) for s in rec.sheds
-            ]
-            self._apply_moves(moves, kind="tune")
-            if self.service.delegate_id != self.delegate_history[-1]:
-                self.delegate_history.append(self.service.delegate_id)
-
-    # ------------------------------------------------------------------ #
-    @property
-    def failovers(self) -> int:
-        """Delegate re-elections that were forced by crashes."""
-        return self.service.failovers
-
-    def control_traffic(self) -> Dict[str, int]:
-        """Control-plane messages sent, by kind."""
-        return dict(self.network.sent_count)

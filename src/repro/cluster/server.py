@@ -89,6 +89,10 @@ class FileServer:
         # Previous window's mean latency (for the delegate's burst filter).
         self._prev_mean = math.nan
         self._flush_backlog: List[float] = []
+        #: Optional completion hook ``probe(request)`` — set by the
+        #: engine when a RequestCompleted subscriber exists; ``None``
+        #: (the default) keeps the service loop probe-free.
+        self.probe = None
         self._loop = env.process(self._service_loop())
 
     # ------------------------------------------------------------------ #
@@ -183,6 +187,8 @@ class FileServer:
         )
         if request.on_complete is not None:
             request.on_complete(request)
+        if self.probe is not None:
+            self.probe(request)
 
     # ------------------------------------------------------------------ #
     # measurement

@@ -1,0 +1,120 @@
+"""repro.engine — the composable experiment engine.
+
+One :class:`ClusterEngine` assembled from four pluggable layers
+(control plane, client path, fault layer, instrumentation) replaces
+the legacy ``ClusterSimulation`` inheritance tower. See DESIGN.md §8
+for the architecture and the probe catalog.
+
+Import order below is deliberate: the legacy shim modules in
+``repro.cluster``/``repro.faults`` import these submodules while their
+own packages are still initialising, so each engine module may only
+depend on the ones listed before it (and must never import the shim
+modules, or ``repro.experiments``, at top level).
+"""
+
+from .probes import (  # noqa: F401  (isort: keep assembly order)
+    DelegateElected,
+    FaultInjected,
+    FailureDeclared,
+    InvariantAudit,
+    MovesApplied,
+    Observer,
+    ProbeBus,
+    ProbeEvent,
+    RecoveryDeclared,
+    RequestCompleted,
+    RequestDropped,
+    RequestFailed,
+    RoundTraceProbe,
+    RunCompleted,
+    RunStarted,
+    SLAProbe,
+    ServerFailed,
+    ServerRecovered,
+)
+from .client_path import (  # noqa: F401
+    BasicClientPath,
+    ClientPath,
+    HardenedClient,
+    HardenedClientPath,
+    RequestDriver,
+    RetryPolicy,
+    drive_attempts,
+)
+from .record import (  # noqa: F401
+    ChaosConfig,
+    ChaosResult,
+    ClusterConfig,
+    ClusterResult,
+    FailureRecord,
+    MovementRecord,
+    RunRecord,
+    RunRecorder,
+    derive_seed,
+)
+from .control import (  # noqa: F401
+    ControlPlane,
+    DirectControlPlane,
+    DistributedControlPlane,
+)
+from .fault_layer import (  # noqa: F401
+    MONITOR_ID,
+    ChaosFaultLayer,
+    FaultLayer,
+    NullFaultLayer,
+)
+from .engine import ClusterEngine  # noqa: F401
+from .builder import ExperimentSpec, SimulationBuilder  # noqa: F401
+
+__all__ = [
+    # probes
+    "ProbeEvent",
+    "ProbeBus",
+    "Observer",
+    "SLAProbe",
+    "RoundTraceProbe",
+    "RunStarted",
+    "RunCompleted",
+    "RequestCompleted",
+    "RequestDropped",
+    "RequestFailed",
+    "MovesApplied",
+    "DelegateElected",
+    "ServerFailed",
+    "ServerRecovered",
+    "FaultInjected",
+    "FailureDeclared",
+    "RecoveryDeclared",
+    "InvariantAudit",
+    # client path
+    "ClientPath",
+    "BasicClientPath",
+    "HardenedClientPath",
+    "RequestDriver",
+    "HardenedClient",
+    "RetryPolicy",
+    "drive_attempts",
+    # records / results
+    "ClusterConfig",
+    "ClusterResult",
+    "MovementRecord",
+    "ChaosConfig",
+    "ChaosResult",
+    "FailureRecord",
+    "RunRecord",
+    "RunRecorder",
+    "derive_seed",
+    # control plane
+    "ControlPlane",
+    "DirectControlPlane",
+    "DistributedControlPlane",
+    # fault layer
+    "FaultLayer",
+    "NullFaultLayer",
+    "ChaosFaultLayer",
+    "MONITOR_ID",
+    # engine + assembly
+    "ClusterEngine",
+    "ExperimentSpec",
+    "SimulationBuilder",
+]

@@ -1,0 +1,433 @@
+"""The client-path layer: one request driver, parameterized by retries.
+
+Historically the repo carried three near-duplicate drivers
+(``RequestDriver``, ``HardenedRequestDriver``, and the ``AccessClient``
+metadata phase). This module collapses them onto one replay driver
+(:class:`RequestDriver`) and one locate-retry-redirect core
+(:func:`drive_attempts`) shared by every client:
+
+* **basic path** — route once at arrival, submit or drop (the paper's
+  figure runs: placement changes take effect for new arrivals, queued
+  requests finish where they are);
+* **hardened path** — :class:`HardenedClient` drives each logical
+  request through :func:`drive_attempts` with a :class:`RetryPolicy`:
+  per-attempt completion timeout, capped exponential backoff with
+  seeded jitter, and re-locate-and-redirect when the target is down or
+  suspected. The ledger (``injected = completed + failed + in_flight``)
+  is one of the chaos invariants.
+
+The layer objects (:class:`BasicClientPath`, :class:`HardenedClientPath`)
+are stateless factories the :class:`~repro.engine.engine.ClusterEngine`
+calls to assemble its driver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Set, TYPE_CHECKING
+
+from ..sim import Simulator, Tally
+from .probes import RequestDropped, RequestFailed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.request import MetadataRequest
+    from ..cluster.server import FileServer
+    from .engine import ClusterEngine
+
+__all__ = [
+    "RetryPolicy",
+    "drive_attempts",
+    "HardenedClient",
+    "RequestDriver",
+    "ClientPath",
+    "BasicClientPath",
+    "HardenedClientPath",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side request-hardening knobs.
+
+    Attributes
+    ----------
+    request_timeout:
+        Seconds to wait on a submitted attempt before re-evaluating the
+        target's health. A healthy-but-slow server is *not* abandoned
+        (FIFO guarantees progress); only a failed or suspected target
+        triggers a redirect, so no work is duplicated on live servers.
+    max_attempts:
+        Total placement attempts (initial + retries) before the request
+        is declared failed.
+    backoff_base / backoff_cap:
+        Exponential backoff between attempts: ``base · 2^(attempt-1)``
+        seconds, capped at ``backoff_cap``.
+    jitter:
+        Fraction of each backoff randomized (``0`` = deterministic
+        full backoff, ``0.5`` = uniform in ``[0.5·b, b]``). Drawn from
+        the client's seeded rng, so runs replay bit-identically.
+    """
+
+    request_timeout: float = 10.0
+    max_attempts: int = 10
+    backoff_base: float = 0.25
+    backoff_cap: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, got {self.request_timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** max(0, attempt - 1)))
+        if rng is None or self.jitter == 0.0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+
+def drive_attempts(
+    env: Simulator,
+    route: Callable[["MetadataRequest"], Optional["FileServer"]],
+    request: "MetadataRequest",
+    policy: Optional[RetryPolicy] = None,
+    rng: Optional[random.Random] = None,
+    suspected: Optional[Callable[[], Set[object]]] = None,
+    ledger: Optional["HardenedClient"] = None,
+):
+    """The one locate-(retry)-submit-await code path every client shares.
+
+    A generator to ``yield from`` inside a simulation process.
+
+    With ``policy=None`` (the plain access path): locate once, submit,
+    wait for completion; an unroutable request raises ``RuntimeError``.
+
+    With a :class:`RetryPolicy`: the full hardened loop — re-locate
+    before every attempt (so reconfigurations redirect the next retry
+    automatically), per-attempt timeout that abandons only dead or
+    suspected targets, capped jittered backoff between attempts. Every
+    retry/redirect/timeout is counted on ``ledger`` when given.
+    """
+    if policy is None:
+        server = route(request)
+        if server is None:
+            raise RuntimeError(f"no server for file set {request.fileset!r}")
+        done = env.event()
+        request.on_complete = lambda req, ev=done: ev.succeed(req)
+        server.submit(request)
+        yield done
+        return
+
+    from ..cluster.request import MetadataRequest
+
+    attempts = 0
+    last_target: Optional[object] = None
+    while attempts < policy.max_attempts:
+        attempts += 1
+        server = route(request)
+        if server is None or server.failed or (
+            suspected is not None and server.server_id in suspected()
+        ):
+            # No live owner right now (stale mapping or mid-failover):
+            # back off and re-locate.
+            if ledger is not None:
+                ledger.retries += 1
+            yield env.timeout(policy.backoff(attempts, rng))
+            continue
+        if last_target is not None and server.server_id != last_target:
+            if ledger is not None:
+                ledger.redirects += 1
+        last_target = server.server_id
+        # A pristine attempt copy: the original request's arrival is
+        # preserved so measured latency includes every retry delay.
+        attempt = MetadataRequest(
+            fileset=request.fileset, arrival=request.arrival, work=request.work
+        )
+        done = env.event()
+        attempt.on_complete = lambda req, ev=done: ev.succeed(req)
+        incarnation = server.incarnation
+        server.submit(attempt)
+        abandoned = False
+        while not attempt.done:
+            timeout = env.timeout(policy.request_timeout)
+            yield env.any_of([done, timeout])
+            if attempt.done:
+                break
+            if (
+                server.failed
+                or server.incarnation != incarnation
+                or (suspected is not None and server.server_id in suspected())
+            ):
+                # The attempt died with its server (a crash discards
+                # the queue — even if it has recovered since, this
+                # attempt is gone); abandon and redirect.
+                if ledger is not None:
+                    ledger.timeouts += 1
+                abandoned = True
+                break
+            # Healthy but slow: keep waiting — FIFO guarantees the
+            # attempt is still making progress toward the head.
+        if not abandoned:
+            request.server = attempt.server
+            request.service_start = attempt.service_start
+            request.completion = attempt.completion
+            if ledger is not None:
+                ledger._settle(request, attempt.latency)
+            if request.on_complete is not None:
+                request.on_complete(request)
+            return
+        if ledger is not None:
+            ledger.retries += 1
+        yield env.timeout(policy.backoff(attempts, rng))
+    if ledger is not None:
+        ledger._exhaust(request)
+
+
+class HardenedClient:
+    """Retrying, redirecting request submission path.
+
+    Parameters
+    ----------
+    env:
+        The simulator.
+    route:
+        ``route(request) -> Optional[FileServer]`` — resolves the file
+        set's *current* server; re-consulted before every attempt, so a
+        reconfiguration redirects the next retry automatically.
+    policy:
+        Retry/backoff/timeout configuration.
+    rng:
+        Seeded :class:`random.Random` for backoff jitter (``None``
+        disables jitter).
+    suspected:
+        Optional ``() -> set`` of server ids currently suspected by the
+        failure detector; the client refuses to wait on (and redirects
+        away from) suspected targets.
+    probe:
+        Optional :class:`~repro.engine.probes.ProbeBus` receiving
+        :class:`~repro.engine.probes.RequestFailed` events.
+    """
+
+    def __init__(
+        self,
+        env: Simulator,
+        route: Callable[["MetadataRequest"], Optional["FileServer"]],
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        suspected: Optional[Callable[[], Set[object]]] = None,
+        probe=None,
+    ) -> None:
+        self.env = env
+        self.route = route
+        self.policy = policy or RetryPolicy()
+        self.rng = rng
+        self.suspected = suspected
+        self.probe = probe
+        #: Logical requests handed to the client.
+        self.injected = 0
+        #: Logical requests that completed (first successful attempt).
+        self.completed = 0
+        #: Logical requests abandoned after ``max_attempts``.
+        self.failed = 0
+        #: Logical requests currently being driven.
+        self.in_flight = 0
+        #: Re-submissions after a failed/suspected/unroutable attempt.
+        self.retries = 0
+        #: Retries that landed on a *different* server than the last try.
+        self.redirects = 0
+        #: Attempts abandoned because the timeout found the target dead.
+        self.timeouts = 0
+        #: End-to-end latency of every completed logical request.
+        self.latency = Tally(keep=True)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: "MetadataRequest"):
+        """Drive one logical request to completion (or exhaustion)."""
+        self.injected += 1
+        self.in_flight += 1
+        return self.env.process(self._drive(request))
+
+    def _drive(self, request: "MetadataRequest"):
+        yield from drive_attempts(
+            self.env,
+            self.route,
+            request,
+            policy=self.policy,
+            rng=self.rng,
+            suspected=self.suspected,
+            ledger=self,
+        )
+
+    # ------------------------------------------------------------------ #
+    # ledger transitions (called by drive_attempts)
+    # ------------------------------------------------------------------ #
+    def _settle(self, request: "MetadataRequest", latency: float) -> None:
+        self.completed += 1
+        self.in_flight -= 1
+        self.latency.observe(latency)
+
+    def _exhaust(self, request: "MetadataRequest") -> None:
+        self.failed += 1
+        self.in_flight -= 1
+        if self.probe is not None:
+            self.probe.publish(
+                RequestFailed(time=self.env.now, fileset=request.fileset)
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def conserved(self) -> bool:
+        """The request-conservation ledger: injected == done + pending."""
+        return self.injected == self.completed + self.failed + self.in_flight
+
+    @property
+    def retries_per_request(self) -> float:
+        """Mean retries per injected logical request."""
+        return self.retries / self.injected if self.injected else 0.0
+
+
+class RequestDriver:
+    """Replays a time-ordered request schedule into the cluster.
+
+    The one driver both client paths share. Exactly one of ``route`` /
+    ``client`` must be given:
+
+    ``route``
+        Basic path — ``route(request) -> FileServer`` resolves the file
+        set's current server *at arrival time*; returning ``None``
+        drops the request (counted, optionally published).
+    ``client``
+        Hardened path — every request is handed to a
+        :class:`HardenedClient` for the retry/redirect treatment
+        instead of being dropped when routing fails.
+    """
+
+    def __init__(
+        self,
+        env: Simulator,
+        schedule: Sequence["MetadataRequest"],
+        route: Optional[Callable[["MetadataRequest"], Optional["FileServer"]]] = None,
+        client: Optional[HardenedClient] = None,
+        probe=None,
+    ) -> None:
+        if (route is None) == (client is None):
+            raise ValueError("exactly one of route/client must be given")
+        self.env = env
+        self.schedule = list(schedule)
+        if any(
+            b.arrival < a.arrival for a, b in zip(self.schedule, self.schedule[1:])
+        ):
+            raise ValueError("request schedule must be sorted by arrival time")
+        self.route = route
+        self.client = client
+        self.probe = probe
+        self._submitted = 0
+        self._dropped = 0
+        self.process = env.process(self._replay())
+
+    def _replay(self):
+        submit = self.client.submit if self.client is not None else self._submit_basic
+        for request in self.schedule:
+            delay = request.arrival - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            submit(request)
+
+    def _submit_basic(self, request: "MetadataRequest") -> None:
+        server = self.route(request)
+        if server is None:
+            self._dropped += 1
+            if self.probe is not None and self.probe.wants(RequestDropped):
+                self.probe.publish(
+                    RequestDropped(time=self.env.now, fileset=request.fileset)
+                )
+            return
+        server.submit(request)
+        self._submitted += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def submitted(self) -> int:
+        """Requests handed to the cluster (or the client) so far."""
+        return self.client.injected if self.client is not None else self._submitted
+
+    @property
+    def dropped(self) -> int:
+        """Basic path: silently dropped; hardened path: counted failures."""
+        return self.client.failed if self.client is not None else self._dropped
+
+
+# ---------------------------------------------------------------------- #
+# the layer objects
+# ---------------------------------------------------------------------- #
+class ClientPath:
+    """Assembles the request driver for an engine (stateless factory)."""
+
+    def build(self, engine: "ClusterEngine") -> RequestDriver:
+        """Return the driver that replays ``engine.workload``."""
+        raise NotImplementedError
+
+
+class BasicClientPath(ClientPath):
+    """Route-once, submit-or-drop — the paper's figure-run semantics."""
+
+    def build(self, engine: "ClusterEngine") -> RequestDriver:
+        return RequestDriver(
+            engine.env,
+            engine.workload.requests,
+            route=engine._route,
+            probe=engine.bus,
+        )
+
+
+class HardenedClientPath(ClientPath):
+    """Timeout/backoff/redirect submission through a :class:`HardenedClient`.
+
+    Parameters
+    ----------
+    retry:
+        The :class:`RetryPolicy` (default: stock policy).
+    rng:
+        Seeded rng for backoff jitter.
+    trust_detector:
+        When ``True`` (default) the client consults the engine's
+        failure detector and redirects away from suspected servers.
+    """
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        trust_detector: bool = True,
+    ) -> None:
+        self.retry = retry
+        self.rng = rng
+        self.trust_detector = trust_detector
+
+    def build(self, engine: "ClusterEngine") -> RequestDriver:
+        suspected = None
+        if self.trust_detector:
+            def suspected() -> Set[object]:
+                monitor = engine.monitor
+                return monitor.suspected if monitor is not None else set()
+        client = HardenedClient(
+            engine.env,
+            engine._route,
+            policy=self.retry,
+            rng=self.rng,
+            suspected=suspected,
+            probe=engine.bus,
+        )
+        return RequestDriver(
+            engine.env, engine.workload.requests, client=client, probe=engine.bus
+        )

@@ -2,7 +2,7 @@
 
 Every figure and benchmark replays deterministic simulations: the same
 ``(workload, config, system)`` triple always produces the same
-:class:`~repro.cluster.cluster.ClusterResult`, and the same
+:class:`~repro.engine.record.ClusterResult`, and the same
 ``(SyntheticConfig, seed)`` pair always produces the same 66k–112k
 request schedule. This module stops the harness from recomputing those
 fixed points:
@@ -46,10 +46,9 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .. import __version__
-from ..cluster.cluster import ClusterResult
+from ..engine.record import ClusterResult
 from ..workloads.synthetic import SyntheticConfig, Workload, generate_synthetic
 from .config import ExperimentConfig
-from .runner import _fresh_workload
 
 __all__ = [
     "cached_synthetic",
@@ -108,7 +107,7 @@ def cached_synthetic(
             if store.enabled:
                 store.put_workload(config, seed, master)
         _workload_memo[key] = master
-    return _fresh_workload(master)
+    return master.fork()
 
 
 def clear_memo() -> None:

@@ -28,8 +28,8 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.hashing import HashFamily
+from ..engine import SimulationBuilder
 from ..faults import (
-    ChaosClusterSimulation,
     ChaosConfig,
     ChaosResult,
     FaultSchedule,
@@ -86,10 +86,11 @@ def run_chaos(
             min_outage=max(30.0, 3.0 * chaos.detection_latency_bound),
         )
     policy = ANURandomization(list(config.powers), hash_family=HashFamily(seed=0))
-    sim = ChaosClusterSimulation(
-        workload, policy, config.cluster_config(), schedule=schedule, chaos=chaos
+    return (
+        SimulationBuilder(workload, policy, config.cluster_config())
+        .chaos(schedule=schedule, chaos=chaos)
+        .run()
     )
-    return sim.run_chaos()
 
 
 def run_chaos_sweep(

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from ..cluster.cache import CacheConfig
-from ..cluster.cluster import ClusterConfig
+from ..engine.record import ClusterConfig
 from ..workloads.synthetic import SyntheticConfig
 from ..workloads.trace import TraceConfig
 

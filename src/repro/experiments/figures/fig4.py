@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from ...cluster.cluster import ClusterResult
+from ...engine.record import ClusterResult
 from ...metrics.latency import convergence_round
 from ...workloads.trace import generate_trace_shaped
 from ..config import ExperimentConfig, paper_config

@@ -19,7 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from ...cluster.cluster import ClusterResult
+from ...engine.record import ClusterResult
 from ...metrics.latency import convergence_round, latency_series
 from ...metrics.summary import ascii_table, format_float
 from ..cache import cached_synthetic

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ...cluster.cluster import ClusterResult
+from ...engine.record import ClusterResult
 from ...metrics.consistency import consistency_report
 from ...metrics.latency import aggregate_latency, per_server_mean
 from ...metrics.summary import ascii_table

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ...cluster.cluster import ClusterResult
+from ...engine.record import ClusterResult
 from ...metrics.movement import MovementSeries, front_loadedness, movement_series
 from ...metrics.summary import ascii_table
 from .fig5 import Fig5Data

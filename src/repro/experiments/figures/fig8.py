@@ -19,11 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ...cluster.cluster import ClusterResult
+from ...engine.record import ClusterResult
 from ...metrics.summary import ascii_table
 from ..cache import cached_synthetic
 from ..config import ExperimentConfig, paper_config
-from ..runner import _fresh_workload, run_system
+from ..runner import run_system
 
 __all__ = ["Fig8Data", "run", "render", "DEFAULT_SWEEP"]
 
@@ -72,13 +72,13 @@ def run(
         sweep_results = run_vp_sweep(workload, config, sweep, max_workers=max_workers)
     else:
         references = {
-            system: run_system(system, _fresh_workload(workload), config)
+            system: run_system(system, workload.fork(), config)
             for system in ("anu", "prescient")
         }
         sweep_results = {}
         for nv in sweep:
             sweep_results[nv] = run_system(
-                "virtual", _fresh_workload(workload), config, n_virtual=nv
+                "virtual", workload.fork(), config, n_virtual=nv
             )
     return Fig8Data(config=config, sweep=sweep_results, references=references)
 

@@ -32,11 +32,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..cluster.cluster import ClusterResult
+from ..engine.record import ClusterResult
 from ..workloads.synthetic import Workload, generate_synthetic
 from .cache import ExperimentCache, result_fingerprint
 from .config import SYSTEMS, ExperimentConfig
-from .runner import _fresh_workload, run_system
+from .runner import run_system
 
 __all__ = [
     "default_workers",
@@ -127,7 +127,7 @@ def run_comparison_parallel(
             results[system] = hit
         else:
             pending.append(system)
-    jobs = [(system, _fresh_workload(workload), config, None) for system in pending]
+    jobs = [(system, workload.fork(), config, None) for system in pending]
     for system, result in zip(pending, _fan_out(jobs, _system_job, max_workers)):
         results[system] = result
         if cache is not None:
@@ -175,7 +175,7 @@ def run_vp_sweep(
             results[nv] = hit
         else:
             pending.append(nv)
-    jobs = [("virtual", _fresh_workload(workload), config, nv) for nv in pending]
+    jobs = [("virtual", workload.fork(), config, nv) for nv in pending]
     for nv, result in zip(pending, _fan_out(jobs, _system_job, max_workers)):
         results[nv] = result
         if cache is not None:

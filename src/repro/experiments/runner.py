@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..cluster.cluster import ClusterResult, ClusterSimulation
 from ..core.hashing import HashFamily
 from ..core.tuning import TuningPolicy
+from ..engine import SimulationBuilder
+from ..engine.record import ClusterResult
 from ..policies import (
     ANURandomization,
     DynamicPrescient,
@@ -77,7 +78,7 @@ def run_system(
 ) -> ClusterResult:
     """Run one system against one workload; returns the full result."""
     policy = make_policy(system, config, n_virtual=n_virtual, tuning_policy=tuning_policy)
-    sim = ClusterSimulation(workload, policy, config.cluster_config())
+    sim = SimulationBuilder(workload, policy, config.cluster_config()).build()
     return sim.run()
 
 
@@ -96,22 +97,14 @@ def run_comparison(
     for system in systems:
         # Requests carry per-run mutable state (server, completion);
         # rebuild a pristine copy of the schedule for each system.
-        fresh = _fresh_workload(workload)
-        results[system] = run_system(system, fresh, config)
+        results[system] = run_system(system, workload.fork(), config)
     return results
 
 
 def _fresh_workload(workload: Workload) -> Workload:
-    """Copy a workload with pristine (un-served) request objects."""
-    from ..cluster.request import MetadataRequest
+    """Copy a workload with pristine (un-served) request objects.
 
-    requests = [
-        MetadataRequest(fileset=r.fileset, arrival=r.arrival, work=r.work)
-        for r in workload.requests
-    ]
-    return Workload(
-        name=workload.name,
-        catalog=workload.catalog,
-        requests=requests,
-        duration=workload.duration,
-    )
+    Thin wrapper over :meth:`Workload.fork` kept for its many existing
+    import sites; new code should call ``workload.fork()`` directly.
+    """
+    return workload.fork()

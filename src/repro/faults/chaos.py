@@ -1,47 +1,49 @@
-"""The chaos harness: a fault-injected, continuously-audited cluster run.
+"""The chaos harness entry point (and the legacy shim).
 
-:class:`ChaosClusterSimulation` composes every robustness layer into
-one experiment:
+The harness itself is now a layer composition:
+:class:`~repro.engine.control.DistributedControlPlane` (seeded
+network) + :class:`~repro.engine.client_path.HardenedClientPath`
+(seeded jitter) + :class:`~repro.engine.fault_layer.ChaosFaultLayer`
+(heartbeat detection, fault injection, continuous invariant auditing),
+assembled by ``SimulationBuilder(...).chaos(schedule, chaos)``. The
+result/record types live in :mod:`repro.engine.record` and are
+re-exported here.
 
-* the message-level control plane of
-  :class:`~repro.cluster.distributed_cluster.DistributedClusterSimulation`
-  (elected delegate, mapping broadcasts, fail-over);
-* a seeded, fault-capable :class:`~repro.distributed.network.Network`
-  (partitions, drop/delay/duplication);
-* a :class:`~repro.distributed.heartbeat.HeartbeatMonitor` with
-  recovery hysteresis — failures are *detected*, not announced: a
-  crashed server leaves the layout only after the detector declares it,
-  which is what makes detection latency a measurable quantity;
-* the :class:`~repro.cluster.client.HardenedClient` request path
-  (timeout, capped backoff with seeded jitter, re-locate-and-redirect);
-* a :class:`~repro.faults.injector.FaultInjector` executing the
-  ``(seed, schedule)`` fault script; and
-* an :class:`~repro.faults.invariants.InvariantChecker` hooked into
-  every reconfiguration plus a periodic sweep.
+This module keeps :class:`ChaosClusterSimulation` as a thin deprecated
+subclass wiring those layers exactly as before — everything stochastic
+still derives from ``ChaosConfig.seed``, so a run remains a pure
+function of ``(workload, config, schedule, chaos)`` and replays
+bit-identically. :func:`chaos_fingerprint` is the equality the
+determinism and golden-equivalence tests assert.
 
-Everything stochastic derives from ``ChaosConfig.seed``, so a run is a
-pure function of ``(workload, config, schedule, chaos)`` and replays
-bit-identically — :func:`chaos_fingerprint` is the equality the
-determinism tests assert.
+Migration::
+
+    # before
+    result = ChaosClusterSimulation(wl, policy, cfg, schedule, chaos).run_chaos()
+    # after
+    result = SimulationBuilder(wl, policy, cfg).chaos(schedule, chaos).run()
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+import warnings
+from typing import Optional, TYPE_CHECKING
 
-from ..cluster.client import HardenedClient, HardenedRequestDriver, RetryPolicy
-from ..cluster.cluster import ClusterConfig, ClusterResult
 from ..cluster.distributed_cluster import DistributedClusterSimulation
-from ..distributed.heartbeat import HeartbeatMonitor
-from ..distributed.network import Network
+from ..engine.client_path import HardenedClientPath
+from ..engine.control import DistributedControlPlane
+from ..engine.engine import ClusterEngine
+from ..engine.fault_layer import MONITOR_ID, ChaosFaultLayer
+from ..engine.record import (
+    ChaosConfig,
+    ChaosResult,
+    ClusterConfig,
+    FailureRecord,
+    derive_seed as _derive_seed,
+)
 from ..policies.anu import ANURandomization
-from ..policies.base import Move
-from .injector import FaultInjector
-from .invariants import InvariantChecker
 from .schedule import FaultSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -53,134 +55,17 @@ __all__ = [
     "ChaosResult",
     "ChaosClusterSimulation",
     "chaos_fingerprint",
+    "MONITOR_ID",
 ]
-
-#: Observer node id used by the chaos heartbeat monitor.
-MONITOR_ID = "chaos-monitor"
-
-
-def _derive_seed(seed: int, name: str) -> int:
-    """Stable integer sub-seed (independent of PYTHONHASHSEED)."""
-    return (int(seed) * 2654435761 + zlib.crc32(name.encode("utf-8"))) % (2**63)
-
-
-@dataclass(frozen=True)
-class ChaosConfig:
-    """Knobs of the chaos harness (all defaults deterministic)."""
-
-    seed: int = 1
-    heartbeat_period: float = 2.0
-    heartbeat_misses: int = 3
-    heartbeat_recoveries: int = 2
-    #: Cadence of the periodic (non-reconfiguration) invariant sweep.
-    invariant_interval: float = 10.0
-    retry: RetryPolicy = field(default_factory=RetryPolicy)
-
-    @property
-    def detection_latency_bound(self) -> float:
-        """Worst-case crash → declaration latency of the detector."""
-        return self.heartbeat_period * (self.heartbeat_misses + 1)
-
-
-@dataclass
-class FailureRecord:
-    """Timeline of one server crash (or partition suspicion)."""
-
-    server_id: object
-    kind: str  # "crash" or "suspect"
-    t_fault: float
-    #: Detector declaration instant (None if healed unnoticed).
-    t_detect: Optional[float] = None
-    #: Instant the underlying fault was lifted (network/link restored).
-    t_heal: Optional[float] = None
-    #: Instant the server was re-admitted to the layout (or directly
-    #: recovered, for undetected blips).
-    t_readmit: Optional[float] = None
-
-    def detection_latency(self) -> Optional[float]:
-        """Crash → declaration delay (None if never detected)."""
-        if self.t_detect is None:
-            return None
-        return self.t_detect - self.t_fault
-
-    def unavailable_until(self, horizon: float) -> float:
-        """End of this record's unavailability window, capped at horizon."""
-        return min(horizon, self.t_readmit if self.t_readmit is not None else horizon)
-
-
-@dataclass
-class ChaosResult:
-    """Everything a chaos run measured, robustness metrics included."""
-
-    base: ClusterResult
-    seed: int
-    schedule: FaultSchedule
-    detection_latency_bound: float
-    #: Faults applied / skipped by the injector.
-    faults_injected: int
-    faults_skipped: int
-    applied: List[tuple]
-    failures: List[FailureRecord]
-    #: Client-side hardening ledger.
-    requests_injected: int
-    requests_completed: int
-    requests_failed: int
-    requests_in_flight: int
-    retries: int
-    redirects: int
-    timeouts: int
-    #: Detector activity.
-    failure_declarations: int
-    recovery_declarations: int
-    #: Invariant sweeps performed / violations caught.
-    invariant_checks: int
-    invariant_violations: int
-
-    # ------------------------------------------------------------------ #
-    @property
-    def detection_latencies(self) -> List[float]:
-        """Observed crash → declaration delays."""
-        return [
-            lat
-            for rec in self.failures
-            if (lat := rec.detection_latency()) is not None
-        ]
-
-    @property
-    def retries_per_request(self) -> float:
-        """Mean retries per injected logical request."""
-        return self.retries / self.requests_injected if self.requests_injected else 0.0
-
-    @property
-    def failed_request_share(self) -> float:
-        """Fraction of logical requests abandoned after all retries."""
-        return self.requests_failed / self.requests_injected if self.requests_injected else 0.0
-
-    @property
-    def server_downtime(self) -> float:
-        """Total server-seconds of unavailability (fault → readmission)."""
-        horizon = self.base.duration
-        return sum(
-            max(0.0, rec.unavailable_until(horizon) - rec.t_fault)
-            for rec in self.failures
-        )
-
-    @property
-    def unavailability(self) -> float:
-        """Downtime share of total server-time (server-seconds basis)."""
-        horizon = self.base.duration
-        n = len(self.base.server_tally)
-        return self.server_downtime / (horizon * n) if horizon and n else 0.0
 
 
 class ChaosClusterSimulation(DistributedClusterSimulation):
-    """ANU cluster run under a deterministic fault schedule.
+    """Deprecated: use ``SimulationBuilder(...).chaos(schedule, chaos)``.
 
     Parameters
     ----------
     workload, policy, config:
-        As for :class:`DistributedClusterSimulation` (``policy`` must
-        be :class:`ANURandomization`).
+        As for the engine (``policy`` must be :class:`ANURandomization`).
     schedule:
         The fault script to execute.
     chaos:
@@ -196,207 +81,34 @@ class ChaosClusterSimulation(DistributedClusterSimulation):
         schedule: Optional[FaultSchedule] = None,
         chaos: Optional[ChaosConfig] = None,
     ) -> None:
-        self.chaos = chaos or ChaosConfig()
-        self.schedule = schedule or FaultSchedule()
-        self._network_rng = random.Random(_derive_seed(self.chaos.seed, "network"))
-        self._client_rng = random.Random(_derive_seed(self.chaos.seed, "client"))
-        self.monitor: Optional[HeartbeatMonitor] = None
-        self.client: Optional[HardenedClient] = None
-        #: Crash/suspect timelines, in fault order.
-        self.failures: List[FailureRecord] = []
-        self._open_records: Dict[object, FailureRecord] = {}
-        super().__init__(workload, policy, config, delegate_crashes=None)
-        self.network.register(MONITOR_ID)
-        self.monitor = HeartbeatMonitor(
-            self.env,
-            self.network,
-            MONITOR_ID,
-            peers=list(self.servers),
-            period=self.chaos.heartbeat_period,
-            misses=self.chaos.heartbeat_misses,
-            recoveries=self.chaos.heartbeat_recoveries,
-            on_failure=self._on_peer_failure,
-            on_recovery=self._on_peer_recovery,
-        )
-        self.checker = InvariantChecker(
-            policy.manager,
-            client=self.client,
-            delegates=lambda: [self.service.delegate_id],
-            seed=self.chaos.seed,
-            schedule=self.schedule,
-            now=lambda: self.env.now,
-        )
-        self.injector = FaultInjector(self.env, self, self.schedule)
-        self._auditor = self.env.process(self._invariant_loop())
-
-    # ------------------------------------------------------------------ #
-    # construction hooks
-    # ------------------------------------------------------------------ #
-    def _make_network(self) -> Network:
-        return Network(self.env, rng=self._network_rng)
-
-    def _make_driver(self):
-        self.client = HardenedClient(
-            self.env,
-            self._route,
-            policy=self.chaos.retry,
-            rng=self._client_rng,
-            suspected=lambda: self.monitor.suspected if self.monitor is not None else set(),
-        )
-        return HardenedRequestDriver(self.env, self.workload.requests, self.client)
-
-    # ------------------------------------------------------------------ #
-    # injection surface (used by FaultInjector)
-    # ------------------------------------------------------------------ #
-    def current_delegate(self) -> object:
-        """Whoever holds the delegate office right now."""
-        return self.service.delegate_id
-
-    def crash_server(self, server_id: object) -> bool:
-        """Crash a server (data + control plane); ``False`` if skipped."""
-        server = self.servers.get(server_id)
-        if server is None or server.failed:
-            return False
-        live = sum(1 for s in self.servers.values() if not s.failed)
-        if live <= 2:
-            # Never crash the cluster below two live servers: elections
-            # and the half-occupancy story need a survivor pair.
-            return False
-        server.fail()  # orphaned queue entries are re-driven by the client
-        self.network.set_down(server_id, True)
-        record = FailureRecord(server_id, "crash", t_fault=self.env.now)
-        self.failures.append(record)
-        self._open_records[server_id] = record
-        return True
-
-    def heal_server(self, server_id: object) -> None:
-        """Lift the crash: restore the link; recovery is then *detected*."""
-        self.network.set_down(server_id, False)
-        record = self._open_records.get(server_id)
-        if record is not None:
-            record.t_heal = self.env.now
-        server = self.servers.get(server_id)
-        if (
-            server is not None
-            and server.failed
-            and self.monitor is not None
-            and server_id not in self.monitor.suspected
-        ):
-            # The blip healed before the detector declared it: the layout
-            # never changed, so the server simply reboots in place.
-            server.recover()
-            if record is not None:
-                record.t_readmit = self.env.now
-                self._open_records.pop(server_id, None)
-
-    def apply_partition(self, nodes) -> None:
-        """Isolate ``nodes`` from the rest of the control plane."""
-        self.network.set_partition(list(nodes))
-        for sid in nodes:
-            if sid in self.servers and sid not in self._open_records:
-                record = FailureRecord(sid, "suspect", t_fault=self.env.now)
-                self.failures.append(record)
-                self._open_records[sid] = record
-
-    def heal_partition(self) -> None:
-        """Reconnect all partition groups."""
-        self.network.heal_partition()
-        suspected = self.monitor.suspected if self.monitor is not None else set()
-        for sid, record in list(self._open_records.items()):
-            if record.kind != "suspect":
-                continue
-            if record.t_heal is None:
-                record.t_heal = self.env.now
-            if record.t_detect is None and sid not in suspected:
-                # The partition healed before the detector declared it:
-                # the layout never changed, nothing to re-admit.
-                record.t_readmit = self.env.now
-                self._open_records.pop(sid, None)
-
-    def apply_straggle(self, server_id: object, factor: float) -> bool:
-        """Degrade a server's power; ``False`` if it is down/degraded."""
-        server = self.servers.get(server_id)
-        if server is None or server.failed or server.degraded:
-            return False
-        server.set_power_factor(factor)
-        return True
-
-    def heal_straggle(self, server_id: object) -> None:
-        """Restore a straggler to nominal power."""
-        server = self.servers.get(server_id)
-        if server is not None:
-            server.set_power_factor(1.0)
-
-    def apply_link_faults(self, drop: float, dup: float, extra_delay: float) -> None:
-        """Turn on probabilistic message faults."""
-        self.network.set_link_faults(drop, dup, extra_delay)
-
-    def heal_link_faults(self) -> None:
-        """Turn off probabilistic message faults."""
-        self.network.clear_link_faults()
-
-    # ------------------------------------------------------------------ #
-    # detector callbacks
-    # ------------------------------------------------------------------ #
-    def _on_peer_failure(self, server_id: object) -> None:
-        now = self.env.now
-        record = self._open_records.get(server_id)
-        if record is not None and record.t_detect is None:
-            record.t_detect = now
-        manager = self.policy.manager
-        if server_id in manager.layout.server_ids and manager.layout.n_servers > 1:
-            moves = self.policy.server_failed(server_id)
-            self._apply_moves(moves, kind="fail")
-
-    def _on_peer_recovery(self, server_id: object) -> None:
-        now = self.env.now
-        server = self.servers.get(server_id)
-        if server is not None and server.failed:
-            server.recover()
-        manager = self.policy.manager
-        if server_id not in manager.layout.server_ids:
-            moves = self.policy.server_added(
-                server_id, power_hint=server.base_power if server else None
+        if type(self) is ChaosClusterSimulation:
+            warnings.warn(
+                "ChaosClusterSimulation is deprecated; use "
+                "repro.engine.SimulationBuilder(...).chaos(schedule, chaos)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            self._apply_moves(moves, kind="recover")
-        record = self._open_records.pop(server_id, None)
-        if record is not None:
-            record.t_readmit = now
-
-    # ------------------------------------------------------------------ #
-    def _invariant_loop(self):
-        while True:
-            yield self.env.timeout(self.chaos.invariant_interval)
-            self.checker.check("periodic")
-
-    # ------------------------------------------------------------------ #
-    def run_chaos(self, until: Optional[float] = None) -> ChaosResult:
-        """Execute the run and collect the robustness result."""
-        base = self.run(until)
-        # A final full sweep at the horizon (fail-fast if the end state
-        # is inconsistent).
-        self.checker.check("final")
-        client = self.client
-        return ChaosResult(
-            base=base,
-            seed=self.chaos.seed,
-            schedule=self.schedule,
-            detection_latency_bound=self.chaos.detection_latency_bound,
-            faults_injected=self.injector.injected,
-            faults_skipped=self.injector.skipped,
-            applied=list(self.injector.applied),
-            failures=list(self.failures),
-            requests_injected=client.injected,
-            requests_completed=client.completed,
-            requests_failed=client.failed,
-            requests_in_flight=client.in_flight,
-            retries=client.retries,
-            redirects=client.redirects,
-            timeouts=client.timeouts,
-            failure_declarations=self.monitor.failure_declarations,
-            recovery_declarations=self.monitor.recovery_declarations,
-            invariant_checks=self.checker.checks,
-            invariant_violations=len(self.checker.violations),
+        if not isinstance(policy, ANURandomization):
+            raise TypeError(
+                "the distributed control plane drives ANU; got "
+                f"{type(policy).__name__}"
+            )
+        chaos = chaos or ChaosConfig()
+        ClusterEngine.__init__(
+            self,
+            workload,
+            policy,
+            config,
+            control=DistributedControlPlane(
+                network_rng=random.Random(_derive_seed(chaos.seed, "network"))
+            ),
+            client_path=HardenedClientPath(
+                retry=chaos.retry,
+                rng=random.Random(_derive_seed(chaos.seed, "client")),
+            ),
+            faults=ChaosFaultLayer(
+                schedule=schedule or FaultSchedule(), chaos=chaos
+            ),
         )
 
 

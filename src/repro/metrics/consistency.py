@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..cluster.cluster import ClusterResult
+from ..engine.record import ClusterResult
 
 __all__ = ["ConsistencyReport", "consistency_report", "jain_index", "coefficient_of_variation"]
 

@@ -1,6 +1,6 @@
 """Latency metrics over cluster results.
 
-Helpers that turn a :class:`~repro.cluster.cluster.ClusterResult` into
+Helpers that turn a :class:`~repro.engine.record.ClusterResult` into
 the quantities the paper plots: per-server latency-versus-time series
 (Figures 4, 5), aggregate mean ± std (Figure 6a), per-server means
 (Figure 6b), and steady-state window statistics used to judge
@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cluster.cluster import ClusterResult
+from ..engine.record import ClusterResult
 
 __all__ = [
     "AggregateLatency",

@@ -13,7 +13,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..cluster.cluster import ClusterResult, MovementRecord
+from ..engine.record import ClusterResult, MovementRecord
 
 __all__ = ["MovementSeries", "movement_series", "front_loadedness"]
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cluster.cluster import ClusterResult
+from ..engine.record import ClusterResult
 
 __all__ = ["SLA", "SLAReport", "evaluate_sla"]
 

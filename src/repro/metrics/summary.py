@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..cluster.cluster import ClusterResult
+from ..engine.record import ClusterResult
 from .consistency import consistency_report
 from .latency import aggregate_latency, per_server_mean
 

@@ -68,6 +68,31 @@ class Workload:
         )
 
     # ------------------------------------------------------------------ #
+    def fork(self) -> "Workload":
+        """A pristine copy of this workload for one simulation run.
+
+        Requests carry per-run mutable state (``server``,
+        ``service_start``, ``completion``), so a schedule can only be
+        replayed through fresh request objects. ``fork`` rebuilds
+        exactly those, while sharing everything immutable — the
+        catalog and the columnar oracle arrays — with the parent.
+        ``self.requests`` is already arrival-sorted, so the clone skips
+        the sort and array construction of ``__init__`` entirely.
+        """
+        clone = object.__new__(Workload)
+        clone.name = self.name
+        clone.catalog = self.catalog
+        clone.requests = [
+            MetadataRequest(fileset=r.fileset, arrival=r.arrival, work=r.work)
+            for r in self.requests
+        ]
+        clone.duration = self.duration
+        clone._fs_names = self._fs_names
+        clone._arrivals = self._arrivals
+        clone._works = self._works
+        clone._fs_idx = self._fs_idx
+        return clone
+
     def __len__(self) -> int:
         return len(self.requests)
 

@@ -1,0 +1,38 @@
+"""Shared fixtures for the engine-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+#: The paper's heterogeneous cluster.
+POWERS = {0: 1.0, 1: 3.0, 2: 5.0, 3: 7.0, 4: 9.0}
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A small workload for fast engine smoke runs (read-only master).
+
+    Tests must not run the returned object directly — call
+    ``tiny_workload.fork()`` for each simulation.
+    """
+    cfg = SyntheticConfig(
+        n_filesets=10,
+        duration=300.0,
+        target_requests=600,
+        total_capacity=25.0,
+    )
+    return generate_synthetic(cfg, seed=11)
+
+
+@pytest.fixture(scope="session")
+def golden_workload():
+    """The workload behind the distributed/chaos golden fingerprints."""
+    cfg = SyntheticConfig(
+        n_filesets=20,
+        duration=600.0,
+        target_requests=2000,
+        total_capacity=25.0,
+    )
+    return generate_synthetic(cfg, seed=12)

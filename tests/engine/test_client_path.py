@@ -1,0 +1,128 @@
+"""The unified request driver and the shared locate-retry-redirect core."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.request import MetadataRequest
+from repro.cluster.server import FileServer
+from repro.engine.client_path import (
+    HardenedClient,
+    RequestDriver,
+    RetryPolicy,
+    drive_attempts,
+)
+from repro.sim import Simulator
+
+
+def req(t: float, fileset: str = "/fs/0", work: float = 1.0) -> MetadataRequest:
+    return MetadataRequest(fileset=fileset, arrival=t, work=work)
+
+
+class TestRequestDriverModes:
+    def test_exactly_one_of_route_or_client(self):
+        env = Simulator()
+        client = HardenedClient(env, route=lambda r: None)
+        with pytest.raises(ValueError, match="exactly one"):
+            RequestDriver(env, [], route=lambda r: None, client=client)
+        with pytest.raises(ValueError, match="exactly one"):
+            RequestDriver(env, [])
+
+    def test_schedule_must_be_sorted(self):
+        env = Simulator()
+        with pytest.raises(ValueError, match="sorted"):
+            RequestDriver(env, [req(2.0), req(1.0)], route=lambda r: None)
+
+    def test_basic_path_counts_drops(self):
+        env = Simulator()
+        server = FileServer(env, "s0", power=5.0)
+        routes = {"/fs/0": server, "/fs/1": None}
+        driver = RequestDriver(
+            env,
+            [req(0.5, "/fs/0"), req(1.0, "/fs/1")],
+            route=lambda r: routes[r.fileset],
+        )
+        env.run(until=10.0)
+        assert driver.submitted == 1
+        assert driver.dropped == 1
+
+    def test_hardened_path_counts_through_client(self):
+        env = Simulator()
+        server = FileServer(env, "s0", power=5.0)
+        client = HardenedClient(env, route=lambda r: server)
+        driver = RequestDriver(env, [req(0.5), req(1.0)], client=client)
+        env.run(until=30.0)
+        assert driver.submitted == client.injected == 2
+        assert driver.dropped == client.failed == 0
+        assert client.completed == 2
+        assert client.conserved
+
+
+class TestDriveAttempts:
+    def test_basic_unroutable_raises(self):
+        env = Simulator()
+
+        def run():
+            yield from drive_attempts(env, lambda r: None, req(0.0))
+
+        env.process(run())
+        with pytest.raises(RuntimeError, match="no server for file set"):
+            env.run(until=1.0)
+
+    def test_retry_exhaustion_marks_failure(self):
+        env = Simulator()
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.1, jitter=0.0)
+        client = HardenedClient(env, route=lambda r: None, policy=policy)
+        client.submit(req(0.0))
+        env.run(until=60.0)
+        assert client.failed == 1
+        assert client.completed == 0
+        assert client.retries == 3
+        assert client.conserved
+
+    def test_redirect_after_crash(self):
+        env = Simulator()
+        primary = FileServer(env, "s0", power=0.5)
+        backup = FileServer(env, "s1", power=5.0)
+
+        def route(r):
+            return backup if primary.failed else primary
+
+        policy = RetryPolicy(request_timeout=1.0, backoff_base=0.1, jitter=0.0)
+        client = HardenedClient(env, route, policy=policy, rng=random.Random(3))
+        client.submit(req(0.0, work=5.0))
+        env.schedule_at(2.0, lambda: primary.fail())
+        env.run(until=60.0)
+        assert client.completed == 1
+        assert client.redirects == 1
+        assert client.timeouts == 1
+        assert client.conserved
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(request_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=2.0, backoff_cap=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_growth_and_cap(self):
+        policy = RetryPolicy(backoff_base=0.25, backoff_cap=1.0, jitter=0.0)
+        assert policy.backoff(1) == 0.25
+        assert policy.backoff(2) == 0.5
+        assert policy.backoff(3) == 1.0
+        assert policy.backoff(10) == 1.0  # capped
+
+    def test_jitter_is_seeded(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(2, random.Random(9)) for _ in range(3)]
+        b = [policy.backoff(2, random.Random(9)) for _ in range(3)]
+        assert a == b
+        base = policy.backoff(2)
+        assert all(base * 0.5 <= x <= base for x in a)

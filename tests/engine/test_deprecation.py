@@ -1,0 +1,93 @@
+"""Legacy shims warn exactly once per construction — and only the shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    DistributedClusterSimulation,
+)
+from repro.cluster.client import HardenedRequestDriver
+from repro.core.hashing import HashFamily
+from repro.engine import HardenedClient, SimulationBuilder
+from repro.faults import ChaosClusterSimulation
+from repro.policies import ANURandomization, SimpleRandomization
+from repro.sim import Simulator
+
+from .conftest import POWERS
+
+
+def anu_policy():
+    return ANURandomization(list(POWERS), hash_family=HashFamily(seed=0))
+
+
+def deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def construct(cls, tiny_workload, **kwargs):
+    policy = (
+        SimpleRandomization(list(POWERS), hash_family=HashFamily(seed=0))
+        if cls is ClusterSimulation
+        else anu_policy()
+    )
+    return cls(
+        tiny_workload.fork(),
+        policy,
+        ClusterConfig(server_powers=POWERS),
+        **kwargs,
+    )
+
+
+class TestShimWarnings:
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (ClusterSimulation, {}),
+            (DistributedClusterSimulation, {"delegate_crashes": [50.0]}),
+            (ChaosClusterSimulation, {}),
+        ],
+        ids=lambda v: getattr(v, "__name__", ""),
+    )
+    def test_warns_exactly_once_per_construction(self, cls, kwargs, tiny_workload):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            construct(cls, tiny_workload, **kwargs)
+        deps = deprecations(record)
+        assert len(deps) == 1, [str(w.message) for w in deps]
+        assert cls.__name__ in str(deps[0].message)
+
+    def test_subclass_shim_does_not_stack_parent_warnings(self, tiny_workload):
+        """ChaosClusterSimulation inherits two shims but warns once, as itself."""
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            construct(ChaosClusterSimulation, tiny_workload)
+        deps = deprecations(record)
+        assert [type(w.message) for w in deps] == [DeprecationWarning]
+        message = str(deps[0].message)
+        assert "ChaosClusterSimulation" in message
+        assert "SimulationBuilder" in message
+
+    def test_hardened_request_driver_warns_once(self):
+        env = Simulator()
+        client = HardenedClient(env, route=lambda r: None)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            HardenedRequestDriver(env, [], client)
+        deps = deprecations(record)
+        assert len(deps) == 1
+        assert "HardenedRequestDriver" in str(deps[0].message)
+
+
+class TestEngineIsWarningFree:
+    def test_builder_path_emits_no_deprecation(self, tiny_workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = SimulationBuilder(
+                tiny_workload.fork(), anu_policy(), ClusterConfig(server_powers=POWERS)
+            ).build()
+            engine.run(until=50.0)

@@ -1,0 +1,61 @@
+"""``Workload.fork`` — pristine per-run copies that share the schedule."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.cache import workload_fingerprint
+from repro.experiments.runner import _fresh_workload
+from repro.workloads.synthetic import Workload
+
+
+class TestFork:
+    def test_shares_immutable_columns(self, tiny_workload):
+        fork = tiny_workload.fork()
+        assert fork.catalog is tiny_workload.catalog
+        assert fork._arrivals is tiny_workload._arrivals
+        assert fork._works is tiny_workload._works
+        assert fork._fs_idx is tiny_workload._fs_idx
+        assert fork.name == tiny_workload.name
+        assert fork.duration == tiny_workload.duration
+
+    def test_requests_are_fresh_and_identical(self, tiny_workload):
+        fork = tiny_workload.fork()
+        assert len(fork.requests) == len(tiny_workload.requests)
+        for mine, orig in zip(fork.requests, tiny_workload.requests):
+            assert mine is not orig
+            assert (mine.fileset, mine.arrival, mine.work) == (
+                orig.fileset,
+                orig.arrival,
+                orig.work,
+            )
+            assert mine.server is None
+            assert mine.service_start is None
+            assert mine.completion is None
+            assert math.isnan(mine.latency)
+
+    def test_fork_isolation(self, tiny_workload):
+        fork = tiny_workload.fork()
+        fork.requests[0].completion = 42.0
+        assert tiny_workload.requests[0].completion is None
+        other = tiny_workload.fork()
+        assert other.requests[0].completion is None
+
+    def test_same_fingerprint_as_full_rebuild(self, tiny_workload):
+        rebuilt = Workload(
+            name=tiny_workload.name,
+            catalog=tiny_workload.catalog,
+            requests=[
+                type(r)(fileset=r.fileset, arrival=r.arrival, work=r.work)
+                for r in tiny_workload.requests
+            ],
+            duration=tiny_workload.duration,
+        )
+        assert workload_fingerprint(tiny_workload.fork()) == workload_fingerprint(
+            rebuilt
+        )
+
+    def test_fresh_workload_wrapper_delegates(self, tiny_workload):
+        fresh = _fresh_workload(tiny_workload)
+        assert fresh._arrivals is tiny_workload._arrivals
+        assert fresh.requests[0] is not tiny_workload.requests[0]

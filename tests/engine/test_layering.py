@@ -1,0 +1,98 @@
+"""Import-layering discipline, enforced both in-process and via the CI gate."""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+ENGINE = REPO / "src" / "repro" / "engine"
+
+sys.path.insert(0, str(REPO / "tools"))
+import check_layering  # noqa: E402
+
+
+class TestCheckerTool:
+    def test_gate_passes_on_this_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_layering.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "layering OK" in proc.stdout
+
+    def test_ban_detection(self):
+        """A forged engine→experiments edge must be reported."""
+        edges = [("repro.engine.engine", "repro.experiments.runner", 12)]
+        problems = check_layering.check_bans(edges)
+        assert len(problems) == 1
+        assert "repro.engine.engine:12" in problems[0]
+
+    def test_cycle_detection(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": {"a"}, "d": set()}
+        cycles = check_layering.find_cycles(graph)
+        assert cycles == [["a", "b", "c"]]
+
+    def test_acyclic_graph_is_clean(self):
+        graph = {"a": {"b", "c"}, "b": {"c"}, "c": set()}
+        assert check_layering.find_cycles(graph) == []
+
+    def test_type_checking_imports_are_ignored(self):
+        tree = ast.parse(
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.experiments import runner\n"
+            "from repro.sim import Simulator\n"
+        )
+        found = list(
+            check_layering.module_level_imports("repro.engine.x", tree, False)
+        )
+        targets = [t for t, _ in found]
+        assert "repro.sim" in targets
+        assert all("experiments" not in t for t in targets)
+
+    def test_relative_imports_resolve(self):
+        tree = ast.parse("from ..sim import Simulator\nfrom .probes import ProbeBus\n")
+        found = [t for t, _ in check_layering.module_level_imports(
+            "repro.engine.engine", tree, False
+        )]
+        assert found == ["repro.sim", "repro.engine.probes"]
+
+
+class TestEngineImportDiscipline:
+    def test_engine_never_imports_shim_packages_at_top_level(self):
+        """Direct AST assertion, independent of the tool's graph walk."""
+        banned = ("repro.experiments", "repro.cluster", "repro.faults")
+        for path in sorted(ENGINE.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            module = f"repro.engine.{path.stem}" if path.stem != "__init__" else "repro.engine"
+            for target, lineno in check_layering.module_level_imports(
+                module, tree, path.stem == "__init__"
+            ):
+                for prefix in banned:
+                    assert not target.startswith(prefix), (
+                        f"{path.name}:{lineno} imports {target} at module level"
+                    )
+
+    def test_engine_imports_cleanly_on_its_own(self):
+        """`import repro.engine` must not pull in the experiment harness."""
+        code = (
+            "import sys\n"
+            "import repro.engine\n"
+            "mods = [m for m in sys.modules if m.startswith('repro.experiments')]\n"
+            "assert not mods, mods\n"
+            "print('clean')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout

@@ -55,32 +55,32 @@ class TestLazyKnowledgeUnit:
 class TestLazyKnowledgeIntegration:
     def test_oracle_free_policies_skip_the_oracle(self, monkeypatch):
         """simple/anu runs must never materialize the oracle."""
-        from repro.cluster import cluster as cluster_mod
+        from repro.engine import engine as engine_mod
 
         builds = []
-        original = cluster_mod.ClusterSimulation._knowledge
+        original = engine_mod.ClusterEngine._knowledge
 
         def counting(self, t0):
             builds.append(self.policy.name)
             return original(self, t0)
 
-        monkeypatch.setattr(cluster_mod.ClusterSimulation, "_knowledge", counting)
+        monkeypatch.setattr(engine_mod.ClusterEngine, "_knowledge", counting)
         config = paper_config(seed=2, scale=0.03)
         workload = generate_synthetic(config.synthetic_config(), seed=2)
         run_comparison(workload, config, systems=("simple", "anu"))
         assert builds == [], f"oracle built for oracle-free policies: {builds}"
 
     def test_prescient_policies_still_get_the_oracle(self, monkeypatch):
-        from repro.cluster import cluster as cluster_mod
+        from repro.engine import engine as engine_mod
 
         builds = []
-        original = cluster_mod.ClusterSimulation._knowledge
+        original = engine_mod.ClusterEngine._knowledge
 
         def counting(self, t0):
             builds.append(self.policy.name)
             return original(self, t0)
 
-        monkeypatch.setattr(cluster_mod.ClusterSimulation, "_knowledge", counting)
+        monkeypatch.setattr(engine_mod.ClusterEngine, "_knowledge", counting)
         config = paper_config(seed=2, scale=0.03)
         workload = generate_synthetic(config.synthetic_config(), seed=2)
         results = run_comparison(workload, config, systems=("prescient", "virtual"))

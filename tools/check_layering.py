@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Static layering and import-cycle gate for ``src/repro``.
+
+Run from the repository root (CI does)::
+
+    python tools/check_layering.py
+
+Checks, using nothing but the stdlib ``ast`` module:
+
+1. **Layer bans** — ``repro.engine`` is the bottom of the experiment
+   stack: none of its modules may import ``repro.experiments`` (the top
+   of the stack), and none may import the legacy shim packages
+   ``repro.cluster`` / ``repro.faults`` *at module import time* (the
+   shims subclass the engine, so a top-level import would deadlock the
+   package initialisation order). Function-local (lazy) imports are
+   allowed and are how the engine reaches the server/cache models.
+2. **Import cycles** — the module-level import graph of ``repro`` must
+   be acyclic. Imports guarded by ``if TYPE_CHECKING:`` are ignored
+   (they never execute).
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+PACKAGE = "repro"
+
+#: (importing-module prefix, banned imported prefix, reason)
+BANS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "repro.engine",
+        "repro.experiments",
+        "the engine is below the experiment harness",
+    ),
+    (
+        "repro.engine",
+        "repro.cluster",
+        "legacy shim package; engine modules must import it lazily",
+    ),
+    (
+        "repro.engine",
+        "repro.faults",
+        "legacy shim package; engine modules must import it lazily",
+    ),
+)
+
+
+def discover_modules() -> Dict[str, Path]:
+    """Map dotted module name -> source file for the whole package."""
+    modules: Dict[str, Path] = {}
+    for path in sorted((SRC / PACKAGE).rglob("*.py")):
+        rel = path.relative_to(SRC).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules[".".join(parts)] = path
+    return modules
+
+
+def _is_type_checking_guard(node: ast.If) -> bool:
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def module_level_imports(
+    module: str, tree: ast.Module, is_package: bool
+) -> Iterator[Tuple[str, int]]:
+    """Yield (imported dotted name, lineno) for executed top-level imports.
+
+    Walks statements reachable at import time (including inside
+    ``try``/``if`` at module level) but skips function and class bodies
+    and ``if TYPE_CHECKING:`` blocks.
+    """
+
+    def walk(stmts) -> Iterator[Tuple[str, int]]:
+        for node in stmts:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield alias.name, node.lineno
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Resolve the relative import against this module.
+                    pkg_parts = module.split(".")
+                    if not is_package:
+                        pkg_parts = pkg_parts[:-1]
+                    base = pkg_parts[: len(pkg_parts) - node.level + 1]
+                    target = ".".join(base + ([node.module] if node.module else []))
+                else:
+                    target = node.module or ""
+                if target:
+                    yield target, node.lineno
+            elif isinstance(node, ast.If):
+                if _is_type_checking_guard(node):
+                    continue
+                yield from walk(node.body)
+                yield from walk(node.orelse)
+            elif isinstance(node, ast.Try):
+                yield from walk(node.body)
+                for handler in node.handlers:
+                    yield from walk(handler.body)
+                yield from walk(node.orelse)
+                yield from walk(node.finalbody)
+            # Function/class bodies are lazy: not walked.
+
+    yield from walk(tree.body)
+
+
+def build_graph(
+    modules: Dict[str, Path],
+) -> Tuple[Dict[str, Set[str]], List[Tuple[str, str, int]]]:
+    """Return (adjacency over known modules, raw edges with line numbers)."""
+    graph: Dict[str, Set[str]] = {name: set() for name in modules}
+    edges: List[Tuple[str, str, int]] = []
+    for name, path in modules.items():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        is_package = path.name == "__init__.py"
+        for target, lineno in module_level_imports(name, tree, is_package):
+            if not target.startswith(PACKAGE):
+                continue
+            # Normalize to the longest known module prefix (an import of
+            # a symbol from a package lands on the package itself).
+            node = target
+            while node and node not in modules:
+                node = node.rpartition(".")[0]
+            if node and node != name:
+                graph[name].add(node)
+                edges.append((name, target, lineno))
+    return graph, edges
+
+
+def check_bans(edges: List[Tuple[str, str, int]]) -> List[str]:
+    problems = []
+    for importer, target, lineno in edges:
+        for src_prefix, banned_prefix, reason in BANS:
+            if importer.startswith(src_prefix) and target.startswith(banned_prefix):
+                problems.append(
+                    f"{importer}:{lineno}: imports {target} — {reason}"
+                )
+    return problems
+
+
+def find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan SCC; returns components of size > 1 (plus self-loops)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan (deep module chains would blow the recursion
+        # limit long before they blow anything else).
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if len(component) > 1 or node in graph[node]:
+                    cycles.append(sorted(component))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return cycles
+
+
+def main() -> int:
+    modules = discover_modules()
+    graph, edges = build_graph(modules)
+    problems = check_bans(edges)
+    for component in find_cycles(graph):
+        problems.append("import cycle: " + " <-> ".join(component))
+    if problems:
+        for line in problems:
+            print(line, file=sys.stderr)
+        print(f"\n{len(problems)} layering violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"layering OK: {len(modules)} modules, {len(edges)} internal imports, no cycles"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
