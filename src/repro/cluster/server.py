@@ -190,6 +190,52 @@ class FileServer:
         if self.probe is not None:
             self.probe(request)
 
+    def absorb_batch(self, latencies, busy: float) -> None:
+        """Bulk-account a cohort of completed requests.
+
+        The vectorized client path computes completions outside the
+        per-request service loop and lands them here: whole-run tally,
+        window accumulators, and busy time in one call, equivalent to
+        ``_record`` per request (window file-set work is not tracked —
+        the vectorized path documents that limitation).
+        """
+        count = latencies.shape[0]
+        if count == 0:
+            return
+        self.completed.observe_many(latencies)
+        self.completed_requests += count
+        self.busy_time += busy
+        self._window_latency_sum += float(latencies.sum())
+        self._window_count += count
+
+    def absorb_moments(
+        self,
+        count: int,
+        total: float,
+        m2: float,
+        minimum: float,
+        maximum: float,
+        busy: float,
+        samples,
+    ) -> None:
+        """:meth:`absorb_batch` from pre-reduced per-server sums.
+
+        The bulk flush computes every server's batch statistics in a
+        handful of ``reduceat`` passes; this lands one server's share
+        (``total`` is the latency sum, ``m2`` the batch's sum of
+        squared deviations) without touching the raw arrays again,
+        except to retain the sample slice.
+        """
+        if count == 0:
+            return
+        self.completed.observe_moments(
+            count, total / count, m2, minimum, maximum, samples
+        )
+        self.completed_requests += count
+        self.busy_time += busy
+        self._window_latency_sum += total
+        self._window_count += count
+
     # ------------------------------------------------------------------ #
     # measurement
     # ------------------------------------------------------------------ #

@@ -46,6 +46,7 @@ from .tuning import (
     trimmed_mean,
     weighted_mean,
 )
+from .vector import ProbeMatrix, SegmentTable, batched_locate, fifo_drain
 
 __all__ = [
     "ANUManager",
@@ -71,6 +72,10 @@ __all__ = [
     "arithmetic_mean",
     "weighted_mean",
     "trimmed_mean",
+    "SegmentTable",
+    "ProbeMatrix",
+    "batched_locate",
+    "fifo_drain",
     "ANUError",
     "InvariantViolation",
     "UnknownServerError",

@@ -125,6 +125,28 @@ class HashFamily:
             count=len(names),
         )
 
+    def batch_offsets(self, names: Sequence[str], round_: int = 0) -> np.ndarray:
+        """One probe round over many names, bypassing the per-name memo.
+
+        :meth:`offsets` memoizes per name — right for the scalar lookup
+        path, wrong for million-name batches, where a dict-of-lists
+        costs more memory and time than the digests themselves. This
+        digests straight into a float array; values are bit-identical
+        to :meth:`offset` for every ``(name, round_)``.
+        """
+        if not 0 <= round_ < self.max_probes:
+            raise ConfigurationError(
+                f"round {round_} outside probe budget [0, {self.max_probes})"
+            )
+        salt = self._salts[round_]
+        blake2b = hashlib.blake2b
+        from_bytes = int.from_bytes
+        out = np.empty(len(names), dtype=np.float64)
+        for i, name in enumerate(names):
+            digest = blake2b(name.encode("utf-8"), digest_size=8, salt=salt).digest()
+            out[i] = from_bytes(digest, "little") / _TWO64
+        return out
+
     def offset_matrix(self, names: Sequence[str], rounds: int) -> np.ndarray:
         """``(len(names), rounds)`` matrix of offsets.
 

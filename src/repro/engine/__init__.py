@@ -64,6 +64,10 @@ from .fault_layer import (  # noqa: F401
     NullFaultLayer,
 )
 from .engine import ClusterEngine  # noqa: F401
+from .vector_driver import (  # noqa: F401
+    VectorizedClientPath,
+    VectorizedRequestDriver,
+)
 from .builder import ExperimentSpec, SimulationBuilder  # noqa: F401
 
 __all__ = [
@@ -91,6 +95,8 @@ __all__ = [
     "BasicClientPath",
     "HardenedClientPath",
     "RequestDriver",
+    "VectorizedClientPath",
+    "VectorizedRequestDriver",
     "HardenedClient",
     "RetryPolicy",
     "drive_attempts",

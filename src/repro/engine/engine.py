@@ -352,13 +352,20 @@ class ClusterEngine:
         self.bus.publish(
             RunCompleted(time=self.env.now, events_processed=self.env.events_processed)
         )
-        all_lat = (
-            np.concatenate(
-                [srv.completed.samples for srv in self.servers.values()]
+        # Drivers that accumulate completion cohorts themselves hand
+        # the aggregate over directly (the vectorized path — server
+        # tallies there do not retain raw samples). Otherwise
+        # concatenate the tally buffer *views*: ``samples`` would copy
+        # each server's buffer first and concatenate would copy again.
+        collect = getattr(self.driver, "collected_latencies", None)
+        if collect is not None:
+            all_lat = collect()
+        elif self.servers:
+            all_lat = np.concatenate(
+                [srv.completed.samples_view() for srv in self.servers.values()]
             )
-            if self.servers
-            else np.empty(0)
-        )
+        else:
+            all_lat = np.empty(0)
         return ClusterResult(
             policy_name=self.policy.name,
             config=self.config,

@@ -1,0 +1,313 @@
+"""The vectorized client path: whole-cohort request drains.
+
+:class:`VectorizedClientPath` is a drop-in
+:class:`~repro.engine.client_path.ClientPath` — same engine, same
+control plane, same tuning loop, same result record — whose driver
+advances one *tuning interval of requests* per simulation event instead
+of one request. Each wake it:
+
+1. refreshes the policy's file-set → server assignment (array-valued
+   when the policy provides :meth:`assignment_vector`, else via scalar
+   ``locate`` calls);
+2. slices the workload's columnar arrays for arrivals in ``[t0, t1)``
+   and computes every completion time with the
+   :func:`~repro.core.vector.fifo_drain` recurrence;
+3. flushes completions that fall *inside* closed windows into each
+   server's interval accumulators — strictly before the tuner's
+   ``interval_report`` runs at the same instant, preserving the scalar
+   path's measurement windows.
+
+The driver wakes before the tuner at every boundary by construction:
+the engine builds the client path first, so the driver's timeout always
+carries the earlier sequence number.
+
+Scope (validated at run start, loud errors otherwise):
+
+* cache effects disabled (``CacheConfig.enabled`` false) — cohort
+  service times are state-free;
+* :class:`~repro.engine.control.DirectControlPlane` and
+  :class:`~repro.engine.fault_layer.NullFaultLayer` — no mid-interval
+  failures or power changes;
+* no per-request probes (``RequestCompleted`` subscribers);
+* per-file-set window work is not tracked (``drain_fileset_work``
+  stays empty), so observation-driven bin-packing policies are out of
+  scope on this path;
+* per-server tallies do not retain raw samples (the driver keeps the
+  flushed cohorts itself and hands the aggregate to the engine), so
+  per-server percentile/SLA metrics are unavailable — aggregate
+  latencies and per-server streaming moments are unaffected.
+
+Aggregate metrics agree with the scalar driver to float rounding; see
+``tests/engine/test_vector_equivalence.py`` for the documented
+tolerances.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.vector import fifo_drain
+from .client_path import ClientPath
+from .probes import RequestCompleted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ClusterEngine
+
+__all__ = ["VectorizedClientPath", "VectorizedRequestDriver"]
+
+
+class VectorizedRequestDriver:
+    """Drains whole request cohorts through array-backed FIFO servers."""
+
+    def __init__(self, engine: "ClusterEngine") -> None:
+        workload = engine.workload
+        for attr in ("_arrivals", "_works", "_fs_idx"):
+            if not hasattr(workload, attr):
+                raise ConfigurationError(
+                    f"workload {workload!r} lacks columnar array {attr!r}; "
+                    "the vectorized client path needs array-backed workloads"
+                )
+        self.engine = engine
+        self.env = engine.env
+        self._arrivals: np.ndarray = workload._arrivals
+        self._works: np.ndarray = workload._works
+        self._fs_idx: np.ndarray = workload._fs_idx
+        if self._fs_idx.dtype.itemsize > 4 and len(workload.catalog) < 2**31:
+            self._fs_idx = self._fs_idx.astype(np.int32)
+        names = getattr(workload, "_fs_names", None)
+        self._names: List[str] = (
+            list(names) if names is not None else list(workload.catalog.names)
+        )
+        # Fixed slot order: the config's server insertion order, same
+        # order the engine builds FileServers in.
+        server_ids = list(engine.config.server_powers)
+        self._slots: Dict[object, int] = {sid: i for i, sid in enumerate(server_ids)}
+        self._servers = [engine.servers[sid] for sid in server_ids]
+        self._powers = np.array(
+            [engine.config.server_powers[sid] for sid in server_ids], dtype=np.float64
+        )
+        #: Absolute time each server's queue drains empty.
+        self._free_at = np.zeros(len(server_ids), dtype=np.float64)
+        # The driver retains flushed latency cohorts itself (handed to
+        # the engine via collected_latencies); per-server tally buffers
+        # would copy every latency a second time and regrow along the
+        # way. Per-server raw samples are therefore unavailable on this
+        # path — streaming per-server moments are kept as always.
+        for server in self._servers:
+            server.completed.forget_samples()
+        self._flushed: List[np.ndarray] = []
+        # Computed-but-unflushed completions: (server slot, completion,
+        # latency, service) column tuples.
+        self._pending: List[Tuple[np.ndarray, ...]] = []
+        # Narrow-dtype view of the current assignment vector, memoized
+        # on the source array (policies cache theirs per epoch).
+        self._assign_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._cursor = 0
+        self._submitted = 0
+        self._dropped = 0
+        #: Compat with the scalar driver surface (no hardened client).
+        self.client = None
+        self.process = engine.env.process(self._drive())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def submitted(self) -> int:
+        """Requests handed to servers so far."""
+        return self._submitted
+
+    @property
+    def dropped(self) -> int:
+        """Requests that could not be routed (always 0: no fault layer)."""
+        return self._dropped
+
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        """Check the engine assembly fits the vectorized path's scope.
+
+        Runs at process start (t=0), after every layer is attached.
+        """
+        from .control import DirectControlPlane
+        from .fault_layer import NullFaultLayer
+
+        engine = self.engine
+        if engine.cache.config.enabled:
+            raise ConfigurationError(
+                "vectorized client path requires cache effects disabled "
+                "(CacheConfig(flush_work_scale=0, cold_factor=1.0) or "
+                "warmup_time=0); got "
+                f"{engine.cache.config!r}"
+            )
+        if not isinstance(engine.control, DirectControlPlane):
+            raise ConfigurationError(
+                "vectorized client path requires DirectControlPlane, got "
+                f"{type(engine.control).__name__}"
+            )
+        if type(engine.faults) is not NullFaultLayer:
+            raise ConfigurationError(
+                "vectorized client path requires NullFaultLayer, got "
+                f"{type(engine.faults).__name__}"
+            )
+        if engine.bus.wants(RequestCompleted):
+            raise ConfigurationError(
+                "vectorized client path does not publish per-request "
+                "RequestCompleted probes; detach the subscriber or use "
+                "BasicClientPath"
+            )
+
+    def _drive(self):
+        self._validate()
+        env = self.env
+        interval = self.engine.config.tuning_interval
+        duration = self.engine.workload.duration
+        t0 = env.now
+        while t0 < duration:
+            t1 = min(t0 + interval, duration)
+            yield env.timeout(t1 - t0)
+            self._drain(t1)
+            self._flush(t1, final=t1 >= duration)
+            t0 = t1
+
+    # ------------------------------------------------------------------ #
+    def _assignment(self) -> np.ndarray:
+        """File-set → server-slot vector under the current placement."""
+        policy = self.engine.policy
+        vector_fn = getattr(policy, "assignment_vector", None)
+        if vector_fn is not None:
+            assign = vector_fn(self._slots)
+        else:
+            slots = self._slots
+            locate = policy.locate
+            assign = np.fromiter(
+                (slots[locate(name)] for name in self._names),
+                dtype=np.int64,
+                count=len(self._names),
+            )
+        # Gathering int16 slots moves a quarter of the bytes of int64
+        # (and hands fifo_drain its radix-sort key for free).
+        if assign.dtype != np.int16 and self._free_at.shape[0] <= np.iinfo(np.int16).max:
+            cache = self._assign_cache
+            if cache is not None and cache[0] is assign:
+                return cache[1]
+            narrow = assign.astype(np.int16)
+            self._assign_cache = (assign, narrow)
+            return narrow
+        return assign
+
+    def _drain(self, t1: float) -> None:
+        """Route and queue the cohort of arrivals in ``[t0, t1)``."""
+        lo = self._cursor
+        hi = int(np.searchsorted(self._arrivals, t1, side="left"))
+        self._cursor = hi
+        if hi == lo:
+            return
+        assign = self._assignment()
+        srv = assign[self._fs_idx[lo:hi]]
+        cohort = fifo_drain(
+            self._arrivals[lo:hi],
+            self._works[lo:hi],
+            srv,
+            self._free_at,
+            power=self._powers,
+        )
+        self._submitted += hi - lo
+        # Latency overwrites the cohort's arrival buffer (fifo_drain
+        # hands us freshly gathered copies, and arrivals are not needed
+        # past this point).
+        latency = np.subtract(cohort.completion, cohort.arrival, out=cohort.arrival)
+        # Pending chunks stay grouped by server (fifo_drain's order),
+        # so flushes never re-sort — they just segment-scan each chunk.
+        self._pending.append((cohort.server, cohort.completion, latency, cohort.service))
+
+    def _flush(self, t1: float, final: bool) -> None:
+        """Land completions due by ``t1`` in the server accumulators.
+
+        Boundary flushes take completions strictly before ``t1``: in
+        the scalar path a completion at exactly the boundary is a
+        timeout created mid-interval, which sorts after the tuner's
+        (created at the previous boundary) and lands in the next
+        window. The final flush is inclusive — the kernel processes
+        events at exactly the horizon — and discards everything later
+        (still in queue at the deadline, same as the scalar run).
+
+        Chunks are processed oldest-first: every chunk is grouped by
+        server with FIFO order inside each group, and a server's
+        earlier-cohort requests always complete before its later ones,
+        so per-server observation order matches the scalar event order
+        without any sorting here. Masking with ``due`` preserves the
+        grouping (it drops elements, never reorders them).
+        """
+        if not self._pending:
+            return
+        chunks = self._pending
+        self._pending = []
+        for srv, completion, latency, service in chunks:
+            due = completion <= t1 if final else completion < t1
+            if not due.all():
+                if not final:
+                    keep = ~due
+                    self._pending.append(
+                        (srv[keep], completion[keep], latency[keep], service[keep])
+                    )
+                if not due.any():
+                    continue
+                srv = srv[due]
+                latency = latency[due]
+                service = service[due]
+            self._flushed.append(latency)
+            seg_start = np.flatnonzero(np.r_[True, srv[1:] != srv[:-1]])
+            bounds = np.r_[seg_start, srv.size]
+            # Per-server batch statistics in six vectorized passes; the
+            # Python loop below only lands scalars (absorb_moments),
+            # instead of paying observe_many's call overhead per server
+            # per window (~14k calls at planet scale).
+            lat_sum = np.add.reduceat(latency, seg_start)
+            svc_sum = np.add.reduceat(service, seg_start)
+            lat_min = np.minimum.reduceat(latency, seg_start)
+            lat_max = np.maximum.reduceat(latency, seg_start)
+            # The service buffer is dead after svc_sum (chunks are
+            # popped or freshly masked), so reuse it for the squares.
+            np.multiply(latency, latency, out=service)
+            sq_sum = np.add.reduceat(service, seg_start)
+            heads = srv[seg_start]
+            servers = self._servers
+            for i in range(seg_start.size):
+                lo, hi = bounds[i], bounds[i + 1]
+                count = int(hi - lo)
+                total = float(lat_sum[i])
+                mean = total / count
+                m2 = float(sq_sum[i]) - count * mean * mean
+                if m2 < 0.0:  # rounding can push the difference negative
+                    m2 = 0.0
+                servers[heads[i]].absorb_moments(
+                    count,
+                    total,
+                    m2,
+                    float(lat_min[i]),
+                    float(lat_max[i]),
+                    busy=float(svc_sum[i]),
+                    samples=latency[lo:hi],
+                )
+
+    def collected_latencies(self) -> np.ndarray:
+        """Latency of every flushed (completed-in-run) request.
+
+        The engine calls this at result-assembly time instead of
+        concatenating per-server tally buffers — the driver already
+        holds every flushed cohort, so the aggregate costs exactly one
+        concatenation. Order is flush order (by completion window),
+        not the scalar path's per-server order; aggregate statistics
+        do not depend on it.
+        """
+        if not self._flushed:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(self._flushed)
+
+
+class VectorizedClientPath(ClientPath):
+    """Client-path layer that assembles a :class:`VectorizedRequestDriver`."""
+
+    def build(self, engine: "ClusterEngine") -> VectorizedRequestDriver:
+        return VectorizedRequestDriver(engine)

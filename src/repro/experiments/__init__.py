@@ -36,6 +36,16 @@ from .parallel import (
 )
 from .report import run_all_figures, run_figure
 from .runner import make_policy, run_comparison, run_system
+from .scale import (
+    DEFAULT_POINTS,
+    SCALE_POLICIES,
+    SMOKE_POINTS,
+    ScalePoint,
+    render_scale,
+    run_scale_point,
+    run_scale_sweep,
+    write_scale_bench,
+)
 
 __all__ = [
     "PAPER_POWERS",
@@ -63,4 +73,12 @@ __all__ = [
     "run_chaos_sweep",
     "render_chaos",
     "write_robustness_bench",
+    "ScalePoint",
+    "SCALE_POLICIES",
+    "DEFAULT_POINTS",
+    "SMOKE_POINTS",
+    "run_scale_point",
+    "run_scale_sweep",
+    "render_scale",
+    "write_scale_bench",
 ]

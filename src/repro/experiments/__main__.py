@@ -7,6 +7,8 @@ Examples::
     python -m repro.experiments --all --scale 0.1
     python -m repro.experiments chaos --seed 1
     python -m repro.experiments chaos --smoke --out /tmp/bench.json
+    python -m repro.experiments scale --smoke
+    python -m repro.experiments scale --out BENCH_scale.json
 """
 
 from __future__ import annotations
@@ -74,11 +76,66 @@ def chaos_main(argv=None) -> int:
     return 0
 
 
+def scale_main(argv=None) -> int:
+    """The ``scale`` subcommand: vectorized sweep → BENCH_scale.json."""
+    from .scale import (
+        DEFAULT_POINTS,
+        SCALE_POLICIES,
+        SMOKE_POINTS,
+        render_scale,
+        run_scale_sweep,
+        write_scale_bench,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments scale",
+        description="Planet-scale vectorized sweep: ANU vs bounded-load "
+        "consistent hashing vs JSQ(d), up to 1000 servers / 1M file sets.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(SCALE_POLICIES),
+        help=f"policies to sweep (default: {' '.join(SCALE_POLICIES)})",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_scale.json",
+        help="output path for the bench JSON",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-sized subset (CI): tiny points, same code path",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="drive each run N times and report the best (timing noise)",
+    )
+    args = parser.parse_args(argv)
+
+    points = SMOKE_POINTS if args.smoke else DEFAULT_POINTS
+    t0 = time.time()
+    payload = run_scale_sweep(
+        points=points, policies=args.policies, seed=args.seed, repeats=args.repeats
+    )
+    write_scale_bench(payload, args.out)
+    print(render_scale(payload))
+    print(f"\nwrote {args.out}", file=sys.stderr)
+    print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "scale":
+        return scale_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the figures of Wu & Burns, HPDC 2004.",

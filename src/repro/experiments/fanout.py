@@ -1,0 +1,141 @@
+"""Zero-copy experiment fan-out: fork-shared payloads, streamed results.
+
+The old fan-out pickled a full workload per job — for a four-system
+comparison that is four multi-megabyte serializations *before any
+simulation starts*, which is exactly why the cold-cache parallel path
+used to lose to sequential. This module fixes the root cause:
+
+* **Zero-copy payload.** The caller's large shared object (workload +
+  config) is published to a module global *before* the pool forks;
+  every worker inherits it through the fork's copy-on-write pages and
+  reads it back with :func:`shared_payload`. Nothing big crosses a
+  pipe — jobs are tuples of a few strings and ints.
+* **Pre-warmed pool.** Workers are forked (and the payload snapshot
+  taken) by a round of no-op warmup tasks before the first real job is
+  dispatched, so job latency never includes process start-up.
+* **Chunked, streamed results.** Jobs go out via ``Executor.map`` with
+  an explicit chunk size; results come back in *submission* order as
+  each completes (the deterministic merge is inherited, not rebuilt).
+* **Loud failure.** A worker dying mid-stream surfaces one
+  ``RuntimeError`` naming the failure; no partial result list ever
+  escapes.
+
+On platforms without the ``fork`` start method the payload is shipped
+once per worker through the pool initializer — the old cost model, kept
+as a documented fallback, behind the same API.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["default_workers", "shared_payload", "stream_map"]
+
+#: The fork-shared payload (set for the duration of one stream_map call).
+_PAYLOAD: Any = None
+
+
+def shared_payload() -> Any:
+    """The payload published by the :func:`stream_map` caller.
+
+    In a forked worker this is the parent's object via copy-on-write;
+    in-process (one worker / one job) it is the object itself.
+    """
+    return _PAYLOAD
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_PARALLEL_WORKERS`` or the CPU count.
+
+    The variable must be a positive integer; anything else raises a
+    :class:`ValueError` naming the variable and the offending value —
+    a silently ignored typo here would quietly serialize (or fail to
+    bound) every sweep.
+    """
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env is not None and env.strip():
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PARALLEL_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(
+                f"REPRO_PARALLEL_WORKERS must be >= 1, got {workers}"
+            )
+        return workers
+    return os.cpu_count() or 1
+
+
+def _set_payload(payload: Any) -> None:
+    """Pool initializer for the no-fork fallback (payload via pickle)."""
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _warm() -> None:
+    """No-op warmup task; running one per worker forces the forks."""
+
+
+def stream_map(
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    payload: Any = None,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn(job)`` for every job; results in submission order.
+
+    ``fn`` and the jobs must be picklable (module-level function, small
+    tuples); ``payload`` need not be — it travels by fork. With one
+    worker or one job everything runs in-process and no pool exists.
+
+    Raises ``RuntimeError`` if a worker process dies; nothing is
+    returned in that case (no partial merge).
+    """
+    global _PAYLOAD
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    workers = max_workers if max_workers is not None else default_workers()
+    workers = min(max(1, workers), len(jobs))
+    _PAYLOAD = payload
+    try:
+        if workers <= 1 or len(jobs) <= 1:
+            return [fn(job) for job in jobs]
+        if chunk_size is None:
+            chunk_size = max(1, len(jobs) // (workers * 4))
+        if "fork" in mp.get_all_start_methods():
+            # The payload global is set above, *then* the workers fork:
+            # each inherits it copy-on-write. The warmup round both
+            # pre-forks the pool and pins the inheritance point before
+            # any real job runs.
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp.get_context("fork")
+            )
+        else:  # pragma: no cover - non-fork platforms
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_set_payload,
+                initargs=(payload,),
+            )
+        try:
+            with pool:
+                for future in [pool.submit(_warm) for _ in range(workers)]:
+                    future.result()
+                # Executor.map streams results back in submission order
+                # as workers finish — deterministic merge for free, and
+                # no end-of-run batch join.
+                return list(pool.map(fn, jobs, chunksize=chunk_size))
+        except BrokenProcessPool as exc:
+            raise RuntimeError(
+                "fan-out worker crashed mid-stream (pool broken); "
+                "no partial results were merged"
+            ) from exc
+    finally:
+        _PAYLOAD = None

@@ -5,17 +5,19 @@ kernel is a serial dependency chain), but the *experiments* are
 embarrassingly parallel: a four-system comparison is four independent
 runs over copies of one workload, a seed sweep is independent end to
 end, and the Figure 8 VP sweep is one run per VP count. This module
-fans those units across a :class:`~concurrent.futures.ProcessPoolExecutor`
-and merges the results in a fixed order, so the output is
-*byte-identical* to the sequential harness (asserted by
-``tests/experiments/test_determinism.py`` via
+fans those units out through :func:`repro.experiments.fanout.stream_map`
+— forked workers that inherit the workload copy-on-write instead of
+receiving a pickled copy each — and merges the results in a fixed
+order, so the output is *byte-identical* to the sequential harness
+(asserted by ``tests/experiments/test_determinism.py`` via
 :func:`~repro.experiments.cache.result_fingerprint`).
 
-Determinism argument: each unit is a pure function of picklable inputs
-``(system, workload bytes, config)``; the kernel introduces no
-wall-clock or cross-run state; pickling floats/arrays round-trips
-exactly; and the merge iterates the caller's requested order, never
-completion order. Parallelism therefore changes wall-clock only.
+Determinism argument: each unit is a pure function of its inputs
+``(system, shared workload, config)``; the kernel introduces no
+wall-clock or cross-run state; fork-inherited arrays are the parent's
+bytes by definition; and the merge iterates the caller's requested
+order, never completion order. Parallelism therefore changes wall-clock
+only.
 
 Worker count resolution: explicit argument, else the
 ``REPRO_PARALLEL_WORKERS`` environment variable, else ``os.cpu_count()``.
@@ -27,15 +29,14 @@ short-circuits units whose results are already on disk.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine.record import ClusterResult
 from ..workloads.synthetic import Workload, generate_synthetic
 from .cache import ExperimentCache, result_fingerprint
 from .config import SYSTEMS, ExperimentConfig
+from .fanout import default_workers, shared_payload, stream_map
 from .runner import run_system
 
 __all__ = [
@@ -47,36 +48,15 @@ __all__ = [
 ]
 
 
-def default_workers() -> int:
-    """Worker count from ``REPRO_PARALLEL_WORKERS`` or the CPU count.
-
-    The variable must be a positive integer; anything else raises a
-    :class:`ValueError` naming the variable and the offending value —
-    a silently ignored typo here would quietly serialize (or fail to
-    bound) every sweep.
-    """
-    env = os.environ.get("REPRO_PARALLEL_WORKERS")
-    if env is not None and env.strip():
-        try:
-            workers = int(env)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_PARALLEL_WORKERS must be a positive integer, got {env!r}"
-            ) from None
-        if workers < 1:
-            raise ValueError(
-                f"REPRO_PARALLEL_WORKERS must be >= 1, got {workers}"
-            )
-        return workers
-    return os.cpu_count() or 1
-
-
 # ---------------------------------------------------------------------- #
 # worker entry points (module-level: must be picklable by the pool)
 # ---------------------------------------------------------------------- #
-def _system_job(args: Tuple[str, Workload, ExperimentConfig, Optional[int]]) -> ClusterResult:
-    system, workload, config, n_virtual = args
-    return run_system(system, workload, config, n_virtual=n_virtual)
+def _shared_system_job(args: Tuple[str, Optional[int]]) -> ClusterResult:
+    # The workload rides the fork, not the job tuple: each worker forks
+    # its own pristine request objects from the inherited schedule.
+    system, n_virtual = args
+    workload, config = shared_payload()
+    return run_system(system, workload.fork(), config, n_virtual=n_virtual)
 
 
 def _seed_job(args: Tuple[str, ExperimentConfig]) -> ClusterResult:
@@ -85,18 +65,6 @@ def _seed_job(args: Tuple[str, ExperimentConfig]) -> ClusterResult:
     system, config = args
     workload = generate_synthetic(config.synthetic_config(), seed=config.seed)
     return run_system(system, workload, config)
-
-
-def _fan_out(jobs: List[tuple], fn: Callable, max_workers: Optional[int]) -> List:
-    """Run ``fn`` over ``jobs``, preserving input order in the output."""
-    workers = max_workers if max_workers is not None else default_workers()
-    workers = min(max(1, workers), len(jobs)) if jobs else 1
-    if workers <= 1 or len(jobs) <= 1:
-        return [fn(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # Executor.map yields results in submission order regardless of
-        # completion order — the deterministic merge is free.
-        return list(pool.map(fn, jobs))
 
 
 # ---------------------------------------------------------------------- #
@@ -127,8 +95,14 @@ def run_comparison_parallel(
             results[system] = hit
         else:
             pending.append(system)
-    jobs = [(system, workload.fork(), config, None) for system in pending]
-    for system, result in zip(pending, _fan_out(jobs, _system_job, max_workers)):
+    out = stream_map(
+        _shared_system_job,
+        [(system, None) for system in pending],
+        payload=(workload, config),
+        max_workers=max_workers,
+        chunk_size=1,
+    )
+    for system, result in zip(pending, out):
         results[system] = result
         if cache is not None:
             cache.put_result(cache.result_key(system, workload, config), result)
@@ -149,7 +123,7 @@ def run_seed_sweep(
     """
     base = config if config is not None else ExperimentConfig()
     jobs = [(system, replace(base, seed=int(seed))) for seed in seeds]
-    out = _fan_out(jobs, _seed_job, max_workers)
+    out = stream_map(_seed_job, jobs, max_workers=max_workers, chunk_size=1)
     return {int(seed): result for seed, result in zip(seeds, out)}
 
 
@@ -175,8 +149,14 @@ def run_vp_sweep(
             results[nv] = hit
         else:
             pending.append(nv)
-    jobs = [("virtual", workload.fork(), config, nv) for nv in pending]
-    for nv, result in zip(pending, _fan_out(jobs, _system_job, max_workers)):
+    out = stream_map(
+        _shared_system_job,
+        [("virtual", nv) for nv in pending],
+        payload=(workload, config),
+        max_workers=max_workers,
+        chunk_size=1,
+    )
+    for nv, result in zip(pending, out):
         results[nv] = result
         if cache is not None:
             cache.put_result(cache.result_key("virtual", workload, config, n_virtual=nv), result)

@@ -12,10 +12,13 @@ any of them interchangeably:
 
 from .anu import ANURandomization
 from .base import LazyKnowledge, LoadManager, Move, PrescientKnowledge, RebalanceContext
+from .bounded import BoundedLoadConsistentHashing
+from .jsq import JSQd
 from .optimizer import balance_items, estimated_average_latency
 from .prescient import DynamicPrescient
 from .simple import SimpleRandomization
 from .table import TableBinPacking
+from .vector import VectorANU
 from .virtual import VirtualProcessorSystem
 from .weighted import WeightedHashing
 
@@ -29,6 +32,9 @@ __all__ = [
     "DynamicPrescient",
     "VirtualProcessorSystem",
     "ANURandomization",
+    "VectorANU",
+    "BoundedLoadConsistentHashing",
+    "JSQd",
     "TableBinPacking",
     "WeightedHashing",
     "balance_items",

@@ -1,0 +1,125 @@
+"""JSQ(d): join-the-shortest-of-d-queues placement (power of d choices).
+
+The adaptive randomized baseline for the scaling benchmark, after
+Mukhopadhyay et al.'s mean-field treatment of JSQ(d) on heterogeneous
+servers. Each file set hashes to ``d`` candidate servers (rounds
+``0..d-1`` of the shared :class:`~repro.core.hashing.HashFamily`); at
+every tuning round it is (re)assigned to whichever candidate reported
+the lowest mean latency in the previous interval.
+
+Two deliberate deviations from the queue-length-sampling original,
+both forced by the metadata-cluster setting:
+
+* *File sets*, not individual requests, are the placement unit — the
+  same granularity every other policy in this repo uses.
+* The load signal is the per-interval latency report (one number per
+  server per round), so decisions run on interval-stale estimates
+  rather than instantaneous queue lengths. The herding this causes
+  under coarse feedback is a real phenomenon the benchmark curves are
+  meant to expose, not a bug.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..cluster.fileset import FileSetCatalog
+from ..core.errors import ConfigurationError
+from ..core.hashing import HashFamily
+from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+
+__all__ = ["JSQd"]
+
+
+class JSQd(LoadManager):
+    """Power-of-d-choices assignment on interval latency feedback."""
+
+    def __init__(
+        self,
+        server_ids: List[object],
+        hash_family: Optional[HashFamily] = None,
+        d: int = 2,
+        emit_moves: bool = True,
+    ) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {d}")
+        self.server_ids = list(server_ids)
+        self.hash_family = hash_family or HashFamily()
+        if d > self.hash_family.max_probes:
+            raise ConfigurationError(
+                f"d={d} exceeds the family's probe budget "
+                f"{self.hash_family.max_probes}"
+            )
+        self.d = int(d)
+        self.name = f"jsq{d}"
+        self.emit_moves = bool(emit_moves)
+        self._slot: Dict[object, int] = {
+            sid: i for i, sid in enumerate(self.server_ids)
+        }
+        self._names: List[str] = []
+        self._candidates: Optional[np.ndarray] = None
+        self._assign: Optional[np.ndarray] = None
+        self._index: Optional[Dict[str, int]] = None
+        self.total_sheds = 0
+
+    # ------------------------------------------------------------------ #
+    def initial_placement(
+        self, catalog: FileSetCatalog, knowledge: Optional[PrescientKnowledge]
+    ) -> Dict[str, object]:
+        self._names = list(catalog.names)
+        self._index = None
+        m = len(self._names)
+        k = len(self.server_ids)
+        cand = np.empty((m, self.d), dtype=np.int64)
+        for j in range(self.d):
+            offsets = self.hash_family.batch_offsets(self._names, j)
+            cand[:, j] = np.minimum((offsets * k).astype(np.int64), k - 1)
+        self._candidates = cand
+        # No feedback yet: take the first choice (uniform hashing).
+        self._assign = cand[:, 0].copy()
+        return {}
+
+    # ------------------------------------------------------------------ #
+    def locate(self, fileset: str) -> object:
+        if self._index is None:
+            self._index = {name: i for i, name in enumerate(self._names)}
+        return self.server_ids[self._assign[self._index[fileset]]]
+
+    def assignment_vector(self, server_slots: Mapping[object, int]) -> np.ndarray:
+        translate = np.array(
+            [server_slots[sid] for sid in self.server_ids], dtype=np.int64
+        )
+        return translate[self._assign]
+
+    # ------------------------------------------------------------------ #
+    def rebalance(self, ctx: RebalanceContext) -> List[Move]:
+        """Re-pick the least-loaded of each file set's d candidates.
+
+        Idle servers (``nan`` mean latency) estimate 0 — an idle queue
+        is by definition the shortest.
+        """
+        estimate = np.zeros(len(self.server_ids), dtype=np.float64)
+        for report in ctx.reports:
+            slot = self._slot.get(report.server_id)
+            if slot is not None and not math.isnan(report.mean_latency):
+                estimate[slot] = report.mean_latency
+        # First minimum wins on ties (argmin), so rounds replay
+        # deterministically.
+        pick = np.argmin(estimate[self._candidates], axis=1)
+        new = self._candidates[np.arange(self._candidates.shape[0]), pick]
+        changed = np.flatnonzero(new != self._assign)
+        old = self._assign
+        self._assign = new
+        self.total_sheds += int(changed.size)
+        if not self.emit_moves or changed.size == 0:
+            return []
+        names = self._names
+        sids = self.server_ids
+        return [Move(names[i], sids[old[i]], sids[new[i]]) for i in changed]
+
+    def shared_state_entries(self) -> int:
+        """One latency estimate per server."""
+        return len(self.server_ids)

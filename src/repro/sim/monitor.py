@@ -93,9 +93,99 @@ class Tally:
             self._buf = buf
 
     def observe_many(self, values: Iterable[float]) -> None:
-        """Record a batch of observations."""
-        for v in values:
-            self.observe(v)
+        """Record a batch of observations.
+
+        Vectorized: batch moments are computed once and merged into the
+        running state with the parallel-variance (Chan et al.) update,
+        so the vectorized client path can land a whole request cohort
+        per call. Mean/variance agree with repeated :meth:`observe` to
+        float rounding (the summation order differs); min/max/count and
+        retained samples are identical.
+        """
+        arr = np.asarray(
+            values if isinstance(values, (np.ndarray, list, tuple)) else list(values),
+            dtype=np.float64,
+        ).ravel()
+        k = arr.size
+        if k == 0:
+            return
+        n = self._n
+        batch_mean = float(arr.mean())
+        batch_m2 = float(((arr - batch_mean) ** 2).sum())
+        if n == 0:
+            self._mean = batch_mean
+            self._m2 = batch_m2
+        else:
+            delta = batch_mean - self._mean
+            total = n + k
+            self._mean += delta * (k / total)
+            self._m2 += batch_m2 + delta * delta * (n * k / total)
+        self._n = n + k
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self._min:
+            self._min = lo
+        if hi > self._max:
+            self._max = hi
+        if self._keep:
+            buf = self._buf
+            cap = buf.shape[0]
+            if self._n > cap:
+                while cap < self._n:
+                    cap *= 2
+                grown = np.empty(cap, dtype=np.float64)
+                grown[:n] = buf[:n]
+                self._buf = buf = grown
+            buf[n : self._n] = arr
+
+    def observe_moments(
+        self,
+        count: int,
+        mean: float,
+        m2: float,
+        minimum: float,
+        maximum: float,
+        samples: Optional[np.ndarray] = None,
+    ) -> None:
+        """Merge a pre-summarized batch (same update as observe_many).
+
+        For callers that already hold per-batch moments — e.g. a bulk
+        flush that computed per-server sums with ``np.add.reduceat`` —
+        this skips re-deriving them from the raw array. ``samples`` is
+        retained verbatim when the tally keeps samples; it must then
+        have exactly ``count`` elements.
+        """
+        if count <= 0:
+            return
+        if self._keep and (samples is None or samples.shape[0] != count):
+            raise ValueError(
+                f"tally keeps samples: need exactly {count} samples, "
+                f"got {None if samples is None else samples.shape[0]}"
+            )
+        n = self._n
+        if n == 0:
+            self._mean = mean
+            self._m2 = m2
+        else:
+            delta = mean - self._mean
+            total = n + count
+            self._mean += delta * (count / total)
+            self._m2 += m2 + delta * delta * (n * count / total)
+        self._n = n + count
+        if minimum < self._min:
+            self._min = minimum
+        if maximum > self._max:
+            self._max = maximum
+        if self._keep:
+            buf = self._buf
+            cap = buf.shape[0]
+            if self._n > cap:
+                while cap < self._n:
+                    cap *= 2
+                grown = np.empty(cap, dtype=np.float64)
+                grown[:n] = buf[:n]
+                self._buf = buf = grown
+            buf[n : self._n] = samples
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,6 +229,32 @@ class Tally:
         if not self._keep:
             raise ValueError("Tally was created with keep=False; raw samples unavailable")
         return self._buf[: self._n].copy()
+
+    def forget_samples(self) -> None:
+        """Switch off raw-sample retention (drops any retained so far).
+
+        Streaming moments (count/mean/variance/min/max) keep working.
+        The vectorized client path calls this on server tallies — it
+        retains flushed latency cohorts itself, and per-server buffer
+        appends would copy every observation a second time.
+        """
+        self._keep = False
+        self._buf = None
+
+    def samples_view(self) -> np.ndarray:
+        """Raw observations as a read-only view (requires ``keep=True``).
+
+        Unlike :attr:`samples`, no copy is made — but the view is
+        invalidated by later observations (the buffer may be replaced
+        on growth). For aggregation-time consumers that immediately
+        copy into their own storage, e.g. result assembly
+        concatenating a thousand server tallies.
+        """
+        if not self._keep:
+            raise ValueError("Tally was created with keep=False; raw samples unavailable")
+        view = self._buf[: self._n]
+        view.flags.writeable = False
+        return view
 
     def percentile(self, q: float) -> float:
         """``q``-th percentile (requires ``keep=True`` at construction)."""

@@ -23,6 +23,7 @@ from .distributions import (
     zipf_weights,
 )
 from .io import load_trace, save_trace
+from .scale import ArrayCatalog, ArrayWorkload, ScaleConfig, generate_scale
 from .shifting import ShiftConfig, generate_shifting
 from .synthetic import SyntheticConfig, Workload, generate_synthetic
 from .trace import TraceConfig, generate_trace_shaped
@@ -35,6 +36,10 @@ __all__ = [
     "generate_shifting",
     "TraceConfig",
     "generate_trace_shaped",
+    "ArrayCatalog",
+    "ArrayWorkload",
+    "ScaleConfig",
+    "generate_scale",
     "save_trace",
     "load_trace",
     "pareto_gaps",

@@ -1,0 +1,87 @@
+"""Zero-copy fan-out: payload sharing, ordering, and loud crashes."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.fanout import default_workers, shared_payload, stream_map
+
+
+# ---------------------------------------------------------------------- #
+# module-level worker functions (must be picklable by the pool)
+# ---------------------------------------------------------------------- #
+def _square(job: int) -> int:
+    return job * job
+
+
+def _payload_sum(job: int) -> int:
+    payload = shared_payload()
+    return job + sum(payload["numbers"])
+
+
+def _crash_on_three(job: int) -> int:
+    if job == 3:
+        os._exit(13)  # simulate a worker segfault: no exception, no cleanup
+    return job
+
+
+def _pid(job: int) -> int:
+    return os.getpid()
+
+
+class TestStreamMap:
+    def test_results_in_submission_order(self):
+        jobs = list(range(20))
+        assert stream_map(_square, jobs, max_workers=4) == [j * j for j in jobs]
+
+    def test_empty_jobs(self):
+        assert stream_map(_square, [], max_workers=4) == []
+
+    def test_single_worker_runs_in_process(self):
+        pids = stream_map(_pid, [1, 2, 3], max_workers=1)
+        assert set(pids) == {os.getpid()}
+
+    def test_payload_shared_in_process(self):
+        out = stream_map(
+            _payload_sum, [10], payload={"numbers": [1, 2, 3]}, max_workers=4
+        )
+        assert out == [16]
+        assert shared_payload() is None  # cleared after the call
+
+    def test_payload_shared_across_forked_workers(self):
+        out = stream_map(
+            _payload_sum,
+            [0, 10, 100, 1000],
+            payload={"numbers": list(range(100))},
+            max_workers=2,
+            chunk_size=1,
+        )
+        assert out == [4950, 4960, 5050, 5950]
+
+    def test_worker_crash_surfaces_runtime_error(self):
+        with pytest.raises(RuntimeError, match="no partial results were merged"):
+            stream_map(
+                _crash_on_three, [1, 2, 3, 4, 5, 6], max_workers=2, chunk_size=1
+            )
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_unset_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_PARALLEL_WORKERS"):
+            default_workers()
+
+    def test_env_nonpositive_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            default_workers()

@@ -104,3 +104,83 @@ class TestTimeSeries:
         ts.record(1.0, 10.0)
         ts.record(2.0, 20.0)
         assert ts.last() == (2.0, 20.0)
+
+
+def _moments(batch: np.ndarray):
+    mean = float(batch.mean())
+    m2 = float(((batch - mean) ** 2).sum())
+    return batch.shape[0], mean, m2, float(batch.min()), float(batch.max())
+
+
+class TestTallyMoments:
+    """observe_moments merges pre-reduced batches like observe_many."""
+
+    def test_matches_observe_many(self):
+        rng = np.random.default_rng(17)
+        a = Tally()
+        b = Tally()
+        for size in (1, 400, 7, 60):
+            batch = rng.exponential(1.5, size=size)
+            a.observe_many(batch)
+            b.observe_moments(*_moments(batch))
+        assert b.count == a.count
+        assert b.mean == pytest.approx(a.mean, rel=1e-12)
+        assert b.variance == pytest.approx(a.variance, rel=1e-9)
+        assert b.minimum == a.minimum and b.maximum == a.maximum
+
+    def test_zero_count_is_noop(self):
+        t = Tally()
+        t.observe_moments(0, math.nan, math.nan, math.nan, math.nan)
+        assert t.count == 0 and math.isnan(t.mean)
+
+    def test_first_batch_sets_state(self):
+        t = Tally()
+        batch = np.array([2.0, 4.0, 6.0])
+        t.observe_moments(*_moments(batch))
+        assert t.mean == 4.0
+        assert t.variance == pytest.approx(4.0)
+        assert (t.minimum, t.maximum) == (2.0, 6.0)
+
+    def test_keep_requires_exact_samples(self):
+        t = Tally(keep=True)
+        batch = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="need exactly 3"):
+            t.observe_moments(*_moments(batch))
+        with pytest.raises(ValueError, match="need exactly 3"):
+            t.observe_moments(*_moments(batch), samples=batch[:2])
+        t.observe_moments(*_moments(batch), samples=batch)
+        np.testing.assert_array_equal(t.samples, batch)
+
+    def test_kept_samples_grow_buffer(self):
+        t = Tally(keep=True)
+        rng = np.random.default_rng(2)
+        want = []
+        for size in (3, 50, 900):
+            batch = rng.uniform(0, 1, size=size)
+            t.observe_moments(*_moments(batch), samples=batch)
+            want.append(batch)
+        np.testing.assert_array_equal(t.samples, np.concatenate(want))
+
+
+class TestTallySampleRetention:
+    def test_forget_samples_drops_buffer_keeps_moments(self):
+        t = Tally(keep=True)
+        t.observe_many([1.0, 2.0, 3.0])
+        t.forget_samples()
+        with pytest.raises(ValueError, match="keep=False"):
+            t.samples
+        with pytest.raises(ValueError, match="keep=False"):
+            t.samples_view()
+        # Streaming moments survive, before and after more observations.
+        assert t.mean == 2.0
+        t.observe(4.0)
+        assert t.count == 4 and t.maximum == 4.0
+
+    def test_samples_view_is_read_only_and_zero_copy(self):
+        t = Tally(keep=True)
+        t.observe_many([5.0, 6.0])
+        view = t.samples_view()
+        np.testing.assert_array_equal(view, [5.0, 6.0])
+        assert view.base is not None  # a view, not a copy
+        with pytest.raises(ValueError):
+            view[0] = 0.0

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Schema guard for ``BENCH_scale.json``.
+
+Run from the repository root (CI does)::
+
+    python tools/check_bench_schema.py [path]
+
+Validates the committed scaling-benchmark artifact against the schema
+the code writes today: top-level keys, ``schema_version``, and the
+per-row key set and value types. The point is drift detection — if
+``repro.experiments.scale`` changes its payload shape, this gate fails
+until both the artifact and (deliberately) this checker are updated.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Must match ``repro.experiments.scale.SCHEMA_VERSION``.
+EXPECTED_SCHEMA_VERSION = 1
+
+TOP_LEVEL_KEYS = {
+    "bench": str,
+    "schema_version": int,
+    "seed": int,
+    "cpu_count": int,
+    "policies": list,
+    "rows": list,
+}
+
+ROW_KEYS = {
+    "policy": str,
+    "n_servers": int,
+    "n_filesets": int,
+    "n_requests": int,
+    "completed": int,
+    "duration_s": (int, float),
+    "tuning_interval_s": (int, float),
+    "setup_seconds": (int, float),
+    "drive_seconds": (int, float),
+    "drive_seconds_all": list,
+    "events": int,
+    "events_per_sec": (int, float),
+    "mean_latency": (int, float),
+    "p99_latency": (int, float),
+    "latency_cov": (int, float),
+    "jain_index": (int, float),
+    "total_sheds": int,
+}
+
+
+def check_payload(payload: object) -> list[str]:
+    """All schema violations in a parsed payload (empty = clean)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    for key, typ in TOP_LEVEL_KEYS.items():
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+        elif not isinstance(payload[key], typ):
+            problems.append(
+                f"top-level {key!r} must be {typ}, got {type(payload[key]).__name__}"
+            )
+    extra = set(payload) - set(TOP_LEVEL_KEYS)
+    if extra:
+        problems.append(f"unexpected top-level keys: {sorted(extra)}")
+    if payload.get("bench") != "scale":
+        problems.append(f"bench must be 'scale', got {payload.get('bench')!r}")
+    if payload.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {EXPECTED_SCHEMA_VERSION}, "
+            f"got {payload.get('schema_version')!r}"
+        )
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty list")
+        return problems
+    policies = payload.get("policies")
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        for key, typ in ROW_KEYS.items():
+            if key not in row:
+                problems.append(f"{where}: missing key {key!r}")
+            elif not isinstance(row[key], typ) or isinstance(row[key], bool):
+                problems.append(
+                    f"{where}: {key!r} must be {typ}, got {type(row[key]).__name__}"
+                )
+        extra = set(row) - set(ROW_KEYS)
+        if extra:
+            problems.append(f"{where}: unexpected keys: {sorted(extra)}")
+        if isinstance(policies, list) and row.get("policy") not in policies:
+            problems.append(
+                f"{where}: policy {row.get('policy')!r} not in payload policies"
+            )
+        eps = row.get("events_per_sec")
+        if isinstance(eps, (int, float)) and not math.isfinite(eps):
+            problems.append(f"{where}: events_per_sec must be finite, got {eps}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_scale.json")
+    if not path.exists():
+        print(f"{path}: not found", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"{path}: invalid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = check_payload(payload)
+    if problems:
+        for line in problems:
+            print(f"{path}: {line}", file=sys.stderr)
+        print(f"\n{len(problems)} schema violation(s)", file=sys.stderr)
+        return 1
+    rows = payload["rows"]
+    print(f"bench schema OK: {path} ({len(rows)} rows, schema v{payload['schema_version']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

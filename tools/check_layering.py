@@ -48,6 +48,48 @@ BANS: Tuple[Tuple[str, str, str], ...] = (
         "repro.faults",
         "legacy shim package; engine modules must import it lazily",
     ),
+    # The vectorized path added array kernels to repro.core and an
+    # array workload to repro.workloads; both stay below the engine.
+    (
+        "repro.core",
+        "repro.engine",
+        "core kernels are below the engine",
+    ),
+    (
+        "repro.core",
+        "repro.experiments",
+        "core kernels are below the experiment harness",
+    ),
+    (
+        "repro.core",
+        "repro.cluster",
+        "core kernels must not depend on the cluster model",
+    ),
+    (
+        "repro.core",
+        "repro.workloads",
+        "core kernels must not depend on workload generation",
+    ),
+    (
+        "repro.workloads",
+        "repro.engine",
+        "workload generation is below the engine",
+    ),
+    (
+        "repro.workloads",
+        "repro.experiments",
+        "workload generation is below the experiment harness",
+    ),
+    (
+        "repro.policies",
+        "repro.engine",
+        "placement policies are below the engine",
+    ),
+    (
+        "repro.policies",
+        "repro.experiments",
+        "placement policies are below the experiment harness",
+    ),
 )
 
 
