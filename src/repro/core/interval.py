@@ -209,8 +209,14 @@ class IntervalLayout:
             return None
         region = self._regions[sid]
         if region.partial is not None and region.partial[0] == p:
-            # Prefix occupancy test within the partial partition.
-            return sid if (x * self.n_partitions - p) < region.partial[1] else None
+            # Prefix occupancy test within the partial partition. Uses
+            # the same ``(p + fill) * width`` arithmetic as
+            # :meth:`ServerRegion.segments`: the sum rounds before the
+            # (exact, power-of-two) scaling, so testing the fraction
+            # directly against ``fill`` can disagree with the published
+            # segment endpoint at boundary offsets.
+            end = (p + region.partial[1]) / self.n_partitions
+            return sid if x < end else None
         return sid
 
     def segments(self) -> Dict[object, List[Tuple[float, float]]]:

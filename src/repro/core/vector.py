@@ -158,7 +158,7 @@ class ProbeMatrix:
 
 
 def batched_locate(
-    probes: ProbeMatrix, table: SegmentTable
+    probes: ProbeMatrix, table: SegmentTable, blocked: np.ndarray = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Resolve every name in ``probes`` against ``table``.
 
@@ -166,6 +166,12 @@ def batched_locate(
     the names still unresolved after rounds ``< r``. Returns
     ``(owner_slot, probes_used)`` arrays (``probes_used`` counts hash
     evaluations, 1-based, matching ``ANUManager.lookup``'s accounting).
+
+    ``blocked`` is an optional boolean mask over server slots: a probe
+    landing in a blocked slot's region is treated as unmapped and the
+    name continues to the next round — the alive-mask guarantee of the
+    chaos path ("never route to a dead server"), enforced in the
+    kernel regardless of whether the layout was already updated.
 
     Raises :class:`LookupExhaustedError` if any name exhausts the
     family's probe budget — same failure mode as the scalar lookup.
@@ -175,11 +181,15 @@ def batched_locate(
     used = np.zeros(n, dtype=np.int64)
     if n == 0:
         return owner, used
+    if blocked is not None and not blocked.any():
+        blocked = None
     unresolved = np.arange(n)
     for round_ in range(probes.family.max_probes):
         col = probes.column(round_)
         slots = table.locate(col[unresolved])
         hit = slots >= 0
+        if blocked is not None:
+            hit &= ~blocked[np.maximum(slots, 0)]
         hit_idx = unresolved[hit]
         owner[hit_idx] = slots[hit]
         used[hit_idx] = round_ + 1

@@ -63,6 +63,7 @@ from .fault_layer import (  # noqa: F401
     FaultLayer,
     NullFaultLayer,
 )
+from .vector_faults import VectorChaosFaultLayer  # noqa: F401
 from .engine import ClusterEngine  # noqa: F401
 from .vector_driver import (  # noqa: F401
     VectorizedClientPath,
@@ -118,6 +119,7 @@ __all__ = [
     "FaultLayer",
     "NullFaultLayer",
     "ChaosFaultLayer",
+    "VectorChaosFaultLayer",
     "MONITOR_ID",
     # engine + assembly
     "ClusterEngine",

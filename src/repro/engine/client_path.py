@@ -142,7 +142,10 @@ def drive_attempts(
             # back off and re-locate.
             if ledger is not None:
                 ledger.retries += 1
+                ledger.backing_off += 1
             yield env.timeout(policy.backoff(attempts, rng))
+            if ledger is not None:
+                ledger.backing_off -= 1
             continue
         if last_target is not None and server.server_id != last_target:
             if ledger is not None:
@@ -157,6 +160,8 @@ def drive_attempts(
         attempt.on_complete = lambda req, ev=done: ev.succeed(req)
         incarnation = server.incarnation
         server.submit(attempt)
+        if ledger is not None:
+            ledger.awaiting_service += 1
         abandoned = False
         while not attempt.done:
             timeout = env.timeout(policy.request_timeout)
@@ -177,6 +182,8 @@ def drive_attempts(
                 break
             # Healthy but slow: keep waiting — FIFO guarantees the
             # attempt is still making progress toward the head.
+        if ledger is not None:
+            ledger.awaiting_service -= 1
         if not abandoned:
             request.server = attempt.server
             request.service_start = attempt.service_start
@@ -188,7 +195,10 @@ def drive_attempts(
             return
         if ledger is not None:
             ledger.retries += 1
+            ledger.backing_off += 1
         yield env.timeout(policy.backoff(attempts, rng))
+        if ledger is not None:
+            ledger.backing_off -= 1
     if ledger is not None:
         ledger._exhaust(request)
 
@@ -247,6 +257,14 @@ class HardenedClient:
         self.redirects = 0
         #: Attempts abandoned because the timeout found the target dead.
         self.timeouts = 0
+        #: Where each in-flight request currently sits (classification
+        #: of the horizon remainder): accepted but the driver process
+        #: has not started yet, waiting on a submitted attempt, or in
+        #: a backoff sleep between attempts. Every in-flight request is
+        #: in exactly one bucket — the conservation sweep asserts it.
+        self.dispatching = 0
+        self.awaiting_service = 0
+        self.backing_off = 0
         #: End-to-end latency of every completed logical request.
         self.latency = Tally(keep=True)
 
@@ -255,9 +273,11 @@ class HardenedClient:
         """Drive one logical request to completion (or exhaustion)."""
         self.injected += 1
         self.in_flight += 1
+        self.dispatching += 1
         return self.env.process(self._drive(request))
 
     def _drive(self, request: "MetadataRequest"):
+        self.dispatching -= 1
         yield from drive_attempts(
             self.env,
             self.route,
@@ -289,6 +309,13 @@ class HardenedClient:
     def conserved(self) -> bool:
         """The request-conservation ledger: injected == done + pending."""
         return self.injected == self.completed + self.failed + self.in_flight
+
+    @property
+    def classified(self) -> bool:
+        """Every in-flight request sits in exactly one known bucket."""
+        return self.in_flight == (
+            self.dispatching + self.awaiting_service + self.backing_off
+        )
 
     @property
     def retries_per_request(self) -> float:

@@ -323,4 +323,7 @@ class ChaosFaultLayer(FaultLayer):
             recovery_declarations=self.monitor.recovery_declarations,
             invariant_checks=self.checker.checks,
             invariant_violations=len(self.checker.violations),
+            requests_in_flight_queued=client.awaiting_service,
+            requests_in_flight_backoff=client.backing_off,
+            requests_in_flight_dispatch=client.dispatching,
         )

@@ -262,8 +262,30 @@ class ChaosResult:
     #: Invariant sweeps performed / violations caught.
     invariant_checks: int
     invariant_violations: int
+    #: Classification of the in-flight remainder at the horizon — a
+    #: run *ends* with work in progress; none of it may be lost. Each
+    #: in-flight request is exactly one of: queued on a live server
+    #: (``queued``), between attempts awaiting backoff/re-location
+    #: (``backoff``), or accepted but not yet driven (``dispatch``,
+    #: scalar dispatch latch only).
+    requests_in_flight_queued: int = 0
+    requests_in_flight_backoff: int = 0
+    requests_in_flight_dispatch: int = 0
 
     # ------------------------------------------------------------------ #
+    @property
+    def requests_lost(self) -> int:
+        """In-flight requests the classification cannot account for.
+
+        Zero by the conservation invariant; anything else is a harness
+        bug the chaos tests fail on.
+        """
+        return self.requests_in_flight - (
+            self.requests_in_flight_queued
+            + self.requests_in_flight_backoff
+            + self.requests_in_flight_dispatch
+        )
+
     @property
     def detection_latencies(self) -> List[float]:
         """Observed crash → declaration delays."""

@@ -25,9 +25,14 @@ Scope (validated at run start, loud errors otherwise):
 
 * cache effects disabled (``CacheConfig.enabled`` false) — cohort
   service times are state-free;
-* :class:`~repro.engine.control.DirectControlPlane` and
-  :class:`~repro.engine.fault_layer.NullFaultLayer` — no mid-interval
-  failures or power changes;
+* :class:`~repro.engine.control.DirectControlPlane`, and either
+  :class:`~repro.engine.fault_layer.NullFaultLayer` (no faults) or
+  :class:`~repro.engine.vector_faults.VectorChaosFaultLayer` — the
+  latter hands the driver a compiled fault timeline, and the drive
+  loop splits each tuning interval at every timeline event: drain up
+  to the event, apply it (mask/rate mutations, policy churn, orphan
+  re-drive), continue. Faults the scalar path discovers reactively
+  are replayed deterministically here;
 * no per-request probes (``RequestCompleted`` subscribers);
 * per-file-set window work is not tracked (``drain_fileset_work``
   stays empty), so observation-driven bin-packing policies are out of
@@ -108,6 +113,14 @@ class VectorizedRequestDriver:
         self._cursor = 0
         self._submitted = 0
         self._dropped = 0
+        #: Chaos-mode state (None / empty on the fault-free path). The
+        #: orphan pool holds per-slot ``(arrival, work, fileset)``
+        #: column triples awaiting re-location after a crash; the
+        #: discard counter classifies still-queued-at-horizon requests.
+        self._chaos = None
+        self._orphans: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        self._orphan_total = 0
+        self._discarded = 0
         #: Compat with the scalar driver surface (no hardened client).
         self.client = None
         self.process = engine.env.process(self._drive())
@@ -145,9 +158,13 @@ class VectorizedRequestDriver:
                 "vectorized client path requires DirectControlPlane, got "
                 f"{type(engine.control).__name__}"
             )
-        if type(engine.faults) is not NullFaultLayer:
+        if type(engine.faults) is not NullFaultLayer and engine.faults is not self._chaos:
+            # VectorChaosFaultLayer registers itself via attach_chaos
+            # during assembly; anything else (notably the scalar
+            # ChaosFaultLayer) is out of scope.
             raise ConfigurationError(
-                "vectorized client path requires NullFaultLayer, got "
+                "vectorized client path requires NullFaultLayer or "
+                "VectorChaosFaultLayer, got "
                 f"{type(engine.faults).__name__}"
             )
         if engine.bus.wants(RequestCompleted):
@@ -162,12 +179,27 @@ class VectorizedRequestDriver:
         env = self.env
         interval = self.engine.config.tuning_interval
         duration = self.engine.workload.duration
+        chaos = self._chaos
+        events = chaos.timeline.events if chaos is not None else []
+        next_event = 0
         t0 = env.now
         while t0 < duration:
             t1 = min(t0 + interval, duration)
             yield env.timeout(t1 - t0)
+            # Timeline events split the interval into piecewise drains:
+            # completions are computed analytically, so draining the
+            # sub-windows at the boundary wake is equivalent to waking
+            # at each event — without paying a kernel event per fault.
+            while next_event < len(events) and events[next_event].time <= t1:
+                event = events[next_event]
+                next_event += 1
+                self._drain(event.time)
+                chaos.apply_event(event)
             self._drain(t1)
-            self._flush(t1, final=t1 >= duration)
+            final = t1 >= duration
+            self._flush(t1, final=final)
+            if chaos is not None:
+                chaos.sweep("boundary", t1, final=final)
             t0 = t1
 
     # ------------------------------------------------------------------ #
@@ -204,22 +236,165 @@ class VectorizedRequestDriver:
         if hi == lo:
             return
         assign = self._assignment()
-        srv = assign[self._fs_idx[lo:hi]]
-        cohort = fifo_drain(
-            self._arrivals[lo:hi],
-            self._works[lo:hi],
-            srv,
-            self._free_at,
-            power=self._powers,
-        )
+        fs = self._fs_idx[lo:hi]
+        srv = assign[fs]
         self._submitted += hi - lo
-        # Latency overwrites the cohort's arrival buffer (fifo_drain
-        # hands us freshly gathered copies, and arrivals are not needed
-        # past this point).
-        latency = np.subtract(cohort.completion, cohort.arrival, out=cohort.arrival)
-        # Pending chunks stay grouped by server (fifo_drain's order),
-        # so flushes never re-sort — they just segment-scan each chunk.
-        self._pending.append((cohort.server, cohort.completion, latency, cohort.service))
+        if self._chaos is None:
+            cohort = fifo_drain(
+                self._arrivals[lo:hi],
+                self._works[lo:hi],
+                srv,
+                self._free_at,
+                power=self._powers,
+            )
+            # Latency overwrites the cohort's arrival buffer (fifo_drain
+            # hands us freshly gathered copies, and arrivals are not
+            # needed past this point).
+            latency = np.subtract(
+                cohort.completion, cohort.arrival, out=cohort.arrival
+            )
+            # Pending chunks stay grouped by server (fifo_drain's
+            # order), so flushes never re-sort — they just segment-scan
+            # each chunk.
+            self._pending.append(
+                (cohort.server, cohort.completion, latency, cohort.service)
+            )
+            return
+        arrivals = self._arrivals[lo:hi]
+        works = self._works[lo:hi]
+        dead = ~self._chaos.alive[srv]
+        if dead.any():
+            # Arrivals routed to a crashed-but-undetected slot wait in
+            # the orphan pool until a reconfiguration re-locates them.
+            for s in np.unique(srv[dead]):
+                sel = dead & (srv == s)
+                self._stash(int(s), arrivals[sel], works[sel], fs[sel])
+            keep = ~dead
+            if not keep.any():
+                return
+            arrivals = arrivals[keep]
+            works = works[keep]
+            srv = srv[keep]
+            fs = fs[keep]
+        self._queue_cohort(arrivals, works, srv, fs)
+
+    # ------------------------------------------------------------------ #
+    # chaos-mode surface (used by VectorChaosFaultLayer)
+    # ------------------------------------------------------------------ #
+    def attach_chaos(self, layer) -> None:
+        """Register the vectorized fault layer (engine assembly time)."""
+        self._chaos = layer
+
+    def orphan_count(self) -> int:
+        """Requests parked in the orphan pool awaiting re-location."""
+        return self._orphan_total
+
+    def reset_free_at(self, slot: int, t: float) -> None:
+        """A recovered server restarts with an empty queue at ``t``."""
+        if self._free_at[slot] < t:
+            self._free_at[slot] = t
+
+    def _stash(
+        self, slot: int, arr0: np.ndarray, work: np.ndarray, fs: np.ndarray
+    ) -> None:
+        self._orphans.setdefault(slot, []).append((arr0, work, fs))
+        self._orphan_total += int(arr0.size)
+
+    def _queue_cohort(
+        self,
+        arrivals: np.ndarray,
+        works: np.ndarray,
+        srv: np.ndarray,
+        fs: np.ndarray,
+        arr0: Optional[np.ndarray] = None,
+    ) -> None:
+        """Drain one chaos-mode cohort into a 7-column pending chunk.
+
+        Chaos chunks carry ``(fileset, work, original arrival)`` columns
+        past the fault-free four so a later crash can re-orphan any
+        queued entry with everything re-drive needs. ``arr0`` overrides
+        the latency baseline for re-driven orphans: they enter the
+        queue *now* but their measured latency spans the whole outage.
+        """
+        chaos = self._chaos
+        cohort = fifo_drain(
+            arrivals, works, srv, self._free_at,
+            power=chaos.effective_powers(self._powers),
+        )
+        order = cohort.order
+        arr0_g = cohort.arrival if arr0 is None else arr0[order]
+        latency = cohort.completion - arr0_g
+        self._pending.append(
+            (
+                cohort.server,
+                cohort.completion,
+                latency,
+                cohort.service,
+                fs[order],
+                works[order],
+                arr0_g,
+            )
+        )
+
+    def orphan_extract(self, slot: int, t: float) -> int:
+        """Pull ``slot``'s queued-but-unfinished work into the pool.
+
+        Called at a crash instant: completions strictly after ``t`` on
+        the victim die with its queue. Returns the extraction count
+        (the scalar ledger's ``timeouts`` analogue) and resets the
+        victim's backlog clock.
+        """
+        extracted = 0
+        rebuilt = []
+        for chunk in self._pending:
+            sel = (chunk[0] == slot) & (chunk[1] > t)
+            if not sel.any():
+                rebuilt.append(chunk)
+                continue
+            self._stash(slot, chunk[6][sel], chunk[5][sel], chunk[4][sel])
+            extracted += int(sel.sum())
+            keep = ~sel
+            if keep.any():
+                rebuilt.append(tuple(col[keep] for col in chunk))
+        self._pending = rebuilt
+        self._free_at[slot] = t
+        return extracted
+
+    def redrive_orphans(self, slot: int, t: float) -> Tuple[int, int]:
+        """Re-locate ``slot``'s orphan pool through the current layout.
+
+        Returns ``(redriven, redirected)``: every popped orphan counts
+        as a retry; landing on a different server than the one it died
+        on is a redirect. Orphans whose new target is *also* dead (a
+        concurrent undetected crash) go back to the pool under the new
+        slot — conservation holds throughout.
+        """
+        stash = self._orphans.pop(slot, None)
+        if not stash:
+            return 0, 0
+        arr0 = np.concatenate([c[0] for c in stash])
+        work = np.concatenate([c[1] for c in stash])
+        fs = np.concatenate([c[2] for c in stash])
+        redriven = int(arr0.size)
+        self._orphan_total -= redriven
+        assign = self._assignment()
+        srv = assign[fs]
+        dead = ~self._chaos.alive[srv]
+        if dead.any():
+            for s in np.unique(srv[dead]):
+                sel = dead & (srv == s)
+                self._stash(int(s), arr0[sel], work[sel], fs[sel])
+            keep = ~dead
+            if not keep.any():
+                return redriven, 0
+            arr0 = arr0[keep]
+            work = work[keep]
+            srv = srv[keep]
+            fs = fs[keep]
+        redirected = int(np.count_nonzero(srv != slot))
+        now = np.full(arr0.size, t, dtype=np.float64)
+        self._queue_cohort(now, work, srv, fs, arr0=arr0)
+        return redriven, redirected
 
     def _flush(self, t1: float, final: bool) -> None:
         """Land completions due by ``t1`` in the server accumulators.
@@ -243,19 +418,22 @@ class VectorizedRequestDriver:
             return
         chunks = self._pending
         self._pending = []
-        for srv, completion, latency, service in chunks:
+        for chunk in chunks:
+            completion = chunk[1]
             due = completion <= t1 if final else completion < t1
             if not due.all():
                 if not final:
                     keep = ~due
-                    self._pending.append(
-                        (srv[keep], completion[keep], latency[keep], service[keep])
-                    )
+                    self._pending.append(tuple(col[keep] for col in chunk))
+                else:
+                    # Still queued at the deadline, same as the scalar
+                    # run — counted so the chaos conservation ledger
+                    # classifies rather than loses them.
+                    self._discarded += int(np.count_nonzero(~due))
                 if not due.any():
                     continue
-                srv = srv[due]
-                latency = latency[due]
-                service = service[due]
+                chunk = tuple(col[due] for col in chunk)
+            srv, _, latency, service = chunk[:4]
             self._flushed.append(latency)
             seg_start = np.flatnonzero(np.r_[True, srv[1:] != srv[:-1]])
             bounds = np.r_[seg_start, srv.size]

@@ -9,6 +9,8 @@ Examples::
     python -m repro.experiments chaos --smoke --out /tmp/bench.json
     python -m repro.experiments scale --smoke
     python -m repro.experiments scale --out BENCH_scale.json
+    python -m repro.experiments chaos-scale --smoke
+    python -m repro.experiments chaos-scale --out BENCH_chaos_scale.json
 """
 
 from __future__ import annotations
@@ -129,6 +131,61 @@ def scale_main(argv=None) -> int:
     return 0
 
 
+def chaos_scale_main(argv=None) -> int:
+    """The ``chaos-scale`` subcommand: vectorized chaos → BENCH_chaos_scale.json."""
+    from .chaos_scale import (
+        CHAOS_SCALE_POLICIES,
+        DEFAULT_POINTS,
+        SMOKE_POINTS,
+        render_chaos_scale,
+        run_chaos_scale_sweep,
+        write_chaos_scale_bench,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments chaos-scale",
+        description="Chaos at planet scale: compiled fault timelines on the "
+        "vectorized path, paper scale up to 1000 servers / 100k file sets.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="chaos + workload seed")
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(CHAOS_SCALE_POLICIES),
+        help=f"policies to sweep (default: {' '.join(CHAOS_SCALE_POLICIES)})",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_chaos_scale.json",
+        help="output path for the bench JSON",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-sized subset (CI): tiny points, same code path",
+    )
+    args = parser.parse_args(argv)
+
+    points = SMOKE_POINTS if args.smoke else DEFAULT_POINTS
+    t0 = time.time()
+    payload = run_chaos_scale_sweep(
+        points=points, policies=args.policies, seed=args.seed
+    )
+    write_chaos_scale_bench(payload, args.out)
+    print(render_chaos_scale(payload))
+    violations = sum(row["invariant_violations"] for row in payload["rows"])
+    lost = sum(row["requests_lost"] for row in payload["rows"])
+    print(f"\nwrote {args.out}", file=sys.stderr)
+    print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    if violations or lost:
+        print(
+            f"INVARIANT VIOLATIONS: {violations}, LOST REQUESTS: {lost}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -136,6 +193,8 @@ def main(argv=None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "scale":
         return scale_main(argv[1:])
+    if argv and argv[0] == "chaos-scale":
+        return chaos_scale_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the figures of Wu & Burns, HPDC 2004.",

@@ -1,0 +1,280 @@
+"""The chaos-at-scale sweep: fault injection on the vectorized path.
+
+``BENCH_robustness.json`` proves the chaos harness on the paper's
+five-server cluster; this sweep asks the same robustness questions —
+how fast are faults detected, how much capacity is lost, does
+consistency recover, is every request accounted for — from paper scale
+up to ≥1000 servers and ≥100k file sets, entirely on the vectorized
+client path, against the same three policies as the ``scale`` sweep:
+
+* ``anu``  — :class:`~repro.policies.vector.VectorANU` (this paper);
+* ``chbl`` — :class:`~repro.policies.bounded.BoundedLoadConsistentHashing`;
+* ``jsq2`` — :class:`~repro.policies.jsq.JSQd` with d=2.
+
+Each run compiles its ``(seed, fault_rate)`` schedule into a
+deterministic event timeline (:mod:`repro.faults.timeline`), replays it
+through :class:`~repro.engine.vector_faults.VectorChaosFaultLayer`
+between cohort drains, and audits the array-native invariants
+(conservation, moment accounting, mask-consistent assignment, layout
+coverage) at every event and interval boundary. Rows carry the full
+robustness report — detection latencies vs the analytic bound,
+unavailability, consistency recovery time, the classified in-flight
+remainder (``requests_lost`` must be 0) — plus the run's
+:func:`~repro.faults.chaos.chaos_fingerprint`, so the bench is
+bit-reproducible.
+
+``python -m repro.experiments chaos-scale`` writes
+``BENCH_chaos_scale.json``; ``--smoke`` runs a seconds-sized subset for
+CI. The JSON schema is guarded by ``tools/check_bench_schema.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.cache import CacheConfig
+from ..engine import (
+    ChaosConfig,
+    ClusterConfig,
+    ExperimentSpec,
+    VectorChaosFaultLayer,
+    VectorizedClientPath,
+)
+from ..faults import FaultSchedule, chaos_fingerprint, random_schedule
+from ..metrics.robustness import robustness_report
+from ..workloads.scale import ArrayWorkload, ScaleConfig, generate_scale
+from .scale import SCALE_POLICIES, make_scale_policy, scale_powers
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CHAOS_SCALE_POLICIES",
+    "DEFAULT_POINTS",
+    "SMOKE_POINTS",
+    "ChaosScalePoint",
+    "run_chaos_scale_point",
+    "run_chaos_scale_sweep",
+    "render_chaos_scale",
+    "write_chaos_scale_bench",
+]
+
+#: Bumped on any change to the BENCH_chaos_scale.json row/payload shape.
+SCHEMA_VERSION = 1
+
+CHAOS_SCALE_POLICIES: Tuple[str, ...] = SCALE_POLICIES
+
+
+@dataclass(frozen=True)
+class ChaosScalePoint:
+    """One cluster size / workload size / fault intensity in the sweep."""
+
+    n_servers: int
+    n_filesets: int
+    n_requests: int
+    #: Expected faults per simulated second (Poisson, first 70% of run).
+    fault_rate: float
+    duration: float = 1_200.0
+    tuning_interval: float = 120.0
+
+    def label(self) -> str:
+        return f"{self.n_servers}s/{self.n_filesets}fs"
+
+
+#: Paper scale → two orders of magnitude up → the planet-scale point
+#: the acceptance bar measures (≥1000 servers, ≥100k file sets). Fault
+#: rates grow with the cluster so per-server fault exposure stays in
+#: the same regime a large fleet actually sees.
+DEFAULT_POINTS: Tuple[ChaosScalePoint, ...] = (
+    ChaosScalePoint(
+        n_servers=5, n_filesets=50, n_requests=66_401,
+        fault_rate=0.002, duration=12_000.0,
+    ),
+    ChaosScalePoint(
+        n_servers=100, n_filesets=10_000, n_requests=2_000_000,
+        fault_rate=0.02,
+    ),
+    ChaosScalePoint(
+        n_servers=1_000, n_filesets=100_000, n_requests=5_000_000,
+        fault_rate=0.05,
+    ),
+)
+
+#: CI-sized: seconds, not minutes, same code path end to end. Rates are
+#: storm-level so faults actually land at these tiny horizons.
+SMOKE_POINTS: Tuple[ChaosScalePoint, ...] = (
+    ChaosScalePoint(
+        n_servers=5, n_filesets=50, n_requests=6_000,
+        fault_rate=0.02, duration=600.0, tuning_interval=60.0,
+    ),
+    ChaosScalePoint(
+        n_servers=20, n_filesets=500, n_requests=30_000,
+        fault_rate=0.02, duration=600.0, tuning_interval=60.0,
+    ),
+)
+
+
+def point_schedule(
+    point: ChaosScalePoint, seed: int, chaos: ChaosConfig
+) -> FaultSchedule:
+    """The point's deterministic fault script.
+
+    Drawn from the same generator as the scalar chaos sweep; outages
+    must outlive the detection bound, or crashes heal before the
+    compiled detector can declare them.
+    """
+    return random_schedule(
+        seed=seed,
+        duration=point.duration,
+        server_ids=list(scale_powers(point.n_servers)),
+        fault_rate=point.fault_rate,
+        min_outage=max(30.0, 3.0 * chaos.detection_latency_bound),
+    )
+
+
+def run_chaos_scale_point(
+    point: ChaosScalePoint,
+    policy_name: str,
+    seed: int = 1,
+    workload: Optional[ArrayWorkload] = None,
+    schedule: Optional[FaultSchedule] = None,
+) -> Dict[str, object]:
+    """One vectorized chaos run; returns a BENCH_chaos_scale row.
+
+    ``drive_seconds`` times the run alone; workload generation, engine
+    assembly, schedule compilation, and initial placement count as
+    ``setup_seconds``. The row is the full robustness report plus the
+    run's chaos fingerprint and the churn ledger.
+    """
+    powers = scale_powers(point.n_servers)
+    chaos = ChaosConfig(seed=seed)
+    setup_start = time.perf_counter()
+    if workload is None:
+        workload = generate_scale(
+            ScaleConfig(
+                n_filesets=point.n_filesets,
+                target_requests=point.n_requests,
+                duration=point.duration,
+                total_capacity=sum(powers.values()),
+            ),
+            seed=seed,
+        )
+    if schedule is None:
+        schedule = point_schedule(point, seed, chaos)
+    config = ClusterConfig(
+        server_powers=powers,
+        tuning_interval=point.tuning_interval,
+        cache=CacheConfig(flush_work_scale=0.0, cold_factor=1.0, warmup_time=0.0),
+        supply_knowledge=False,
+    )
+    policy = make_scale_policy(policy_name, list(powers))
+    layer = VectorChaosFaultLayer(schedule=schedule, chaos=chaos)
+    engine = ExperimentSpec(
+        workload=workload.fork(),
+        policy=policy,
+        config=config,
+        client_path=VectorizedClientPath(),
+        faults=layer,
+    ).build()
+    drive_start = time.perf_counter()
+    result = engine.run_chaos()
+    drive_seconds = time.perf_counter() - drive_start
+    setup_seconds = drive_start - setup_start
+    report = robustness_report(result, fault_rate=point.fault_rate)
+    row = report.to_dict()
+    row.update(
+        {
+            "policy": policy_name,
+            "n_servers": point.n_servers,
+            "n_filesets": point.n_filesets,
+            "n_requests": int(result.requests_injected),
+            "duration_s": point.duration,
+            "tuning_interval_s": point.tuning_interval,
+            "setup_seconds": round(setup_seconds, 4),
+            "drive_seconds": round(drive_seconds, 4),
+            "failure_declarations": result.failure_declarations,
+            "recovery_declarations": result.recovery_declarations,
+            "total_sheds": int(getattr(policy, "total_sheds", 0)),
+            "fingerprint": chaos_fingerprint(result),
+        }
+    )
+    return row
+
+
+def run_chaos_scale_sweep(
+    points: Sequence[ChaosScalePoint] = DEFAULT_POINTS,
+    policies: Sequence[str] = CHAOS_SCALE_POLICIES,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """The full sweep; one workload + schedule per point, shared across
+    policies (both are immutable, so sharing is free — and it makes the
+    per-point policy comparison apples-to-apples: identical arrivals,
+    identical fault script)."""
+    chaos = ChaosConfig(seed=seed)
+    rows: List[Dict[str, object]] = []
+    for point in points:
+        powers = scale_powers(point.n_servers)
+        workload = generate_scale(
+            ScaleConfig(
+                n_filesets=point.n_filesets,
+                target_requests=point.n_requests,
+                duration=point.duration,
+                total_capacity=sum(powers.values()),
+            ),
+            seed=seed,
+        )
+        schedule = point_schedule(point, seed, chaos)
+        for policy_name in policies:
+            rows.append(
+                run_chaos_scale_point(
+                    point, policy_name, seed=seed,
+                    workload=workload, schedule=schedule,
+                )
+            )
+    return {
+        "bench": "chaos_scale",
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "policies": list(policies),
+        "detection_latency_bound_s": chaos.detection_latency_bound,
+        "heartbeat": {
+            "period_s": chaos.heartbeat_period,
+            "misses": chaos.heartbeat_misses,
+            "recoveries": chaos.heartbeat_recoveries,
+        },
+        "rows": rows,
+    }
+
+
+def render_chaos_scale(payload: Dict[str, object]) -> str:
+    """ASCII table of a sweep payload (the CLI's printed output)."""
+    lines = [
+        f"chaos-scale sweep: seed={payload['seed']} "
+        f"detection bound={payload['detection_latency_bound_s']}s",
+        f"{'point':>16} {'policy':>6} {'faults':>6} {'unavail':>8} "
+        f"{'det.max':>8} {'recov(s)':>8} {'retries/req':>11} {'lost':>5} "
+        f"{'violations':>10} {'drive(s)':>9}",
+    ]
+    for row in payload["rows"]:
+        point = f"{row['n_servers']}s/{row['n_filesets']}fs"
+        det = max(row["detection_latencies_s"], default=0.0)
+        recov = row["consistency_recovery_s"]
+        lines.append(
+            f"{point:>16} {row['policy']:>6} {row['faults_injected']:>6} "
+            f"{row['unavailability']:>8.4f} {det:>8.2f} "
+            f"{recov if recov is not None else '—':>8} "
+            f"{row['retries_per_request']:>11.4f} {row['requests_lost']:>5} "
+            f"{row['invariant_violations']:>10} {row['drive_seconds']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def write_chaos_scale_bench(payload: Dict[str, object], path) -> Path:
+    """Serialize a sweep payload canonically (stable across runs)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

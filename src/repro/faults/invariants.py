@@ -214,3 +214,14 @@ class InvariantChecker:
                 f"[{trigger}] injected={client.injected} != completed={client.completed}"
                 f" + failed={client.failed} + in_flight={client.in_flight}",
             )
+        if getattr(client, "classified", True) is False:
+            # Every in-flight request must sit in exactly one bucket —
+            # dispatch latch, submitted attempt, or backoff sleep — so
+            # the horizon remainder is classified, never merely lost.
+            self._fail(
+                "request-conservation",
+                f"[{trigger}] in_flight={client.in_flight} != "
+                f"dispatching={client.dispatching}"
+                f" + awaiting_service={client.awaiting_service}"
+                f" + backing_off={client.backing_off}",
+            )

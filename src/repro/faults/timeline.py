@@ -1,0 +1,260 @@
+"""Compiling a fault schedule into a deterministic event timeline.
+
+The scalar chaos harness executes a :class:`~repro.faults.schedule.FaultSchedule`
+*reactively*: the injector fires faults into a live simulator, the
+heartbeat monitor detects them some messages later, and the detection
+instant emerges from the message interleaving. The vectorized path has
+no message network — so :func:`compile_timeline` computes the entire
+cause-and-effect chain up front, as a pure function of
+``(schedule, chaos, server_ids, duration)``:
+
+* **Guards replay exactly.** The scalar injector's skip rules (never
+  crash a crashed server, never go below two live servers, never
+  straggle a degraded server) depend only on prior faults, so they are
+  evaluated during compilation with a replayed membership state.
+* **Detection is analytic.** The heartbeat monitor declares a failure
+  after ``misses`` consecutive silent periods on its fixed grid:
+  a crash at ``t`` is declared at ``(floor(t/period) + misses) ×
+  period`` — strictly inside the scalar monitor's analytic bound
+  ``period × (misses + 1)``. Recovery re-admission follows the same
+  grid with ``recoveries`` confirmations. A fault healed at or before
+  its declaration instant is an *undetected blip*: the layout never
+  changes and the server reboots in place, exactly the scalar
+  semantics.
+* **Delegate kills resolve at compile time** to the lowest-indexed
+  live, unsuspected server — the deterministic stand-in for the
+  election order the vector path does not simulate.
+* **Link faults are out of scope** (there are no messages to drop);
+  they compile to skips and are counted so the ledger still reconciles
+  against the schedule.
+
+The output :class:`ChaosTimeline` carries the ordered
+:class:`TimelineEvent` list the vectorized driver replays between
+cohort drains, plus fully-resolved :class:`FailureRecord` timelines —
+detection latency, heal and re-admission instants are all known before
+the run starts, which is what makes the vector chaos fingerprint a
+pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.record import ChaosConfig, FailureRecord
+from .schedule import FaultKind, FaultSchedule
+
+__all__ = ["TimelineEvent", "ChaosTimeline", "compile_timeline"]
+
+#: Actions a compiled timeline event can carry, in the order the driver
+#: applies them when several land on the same instant (compile order
+#: breaks ties, which follows the schedule's canonical sort).
+ACTIONS = (
+    "crash",        # server leaves the data plane; queue orphaned
+    "detect",       # detector declares the crash; layout evicts
+    "readmit",      # detector confirms recovery; layout re-admits
+    "reboot",       # undetected blip heals in place; no layout change
+    "part-detect",  # partition suspicion declared; layout evicts
+    "part-readmit", # partition healed + confirmed; layout re-admits
+    "straggle-on",  # service-rate multiplier applied
+    "straggle-off", # service-rate restored
+)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One state transition the vectorized driver applies mid-run."""
+
+    time: float
+    action: str
+    slot: int
+    server_id: object
+    #: Straggle events carry the power multiplier; 1.0 otherwise.
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown timeline action {self.action!r}")
+
+
+@dataclass
+class ChaosTimeline:
+    """A fault schedule, fully resolved against a fixed server order."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+    #: ``(time, kind, victim)`` per applied fault — the scalar
+    #: injector's ``applied`` log, reproduced.
+    applied: List[Tuple[float, str, object]] = field(default_factory=list)
+    #: Faults whose guard failed at (compile-replayed) fire time.
+    skipped: int = 0
+    #: Link-fault windows skipped because the path has no messages
+    #: (included in ``skipped``; kept separately for the docs/tests).
+    link_faults_skipped: int = 0
+    #: Crash/suspect timelines with every instant resolved.
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        """Faults applied (mirror of the scalar injector counter)."""
+        return len(self.applied)
+
+
+def _grid_declare(t: float, period: float, count: int) -> float:
+    """Instant the detector's fixed heartbeat grid declares an event.
+
+    The first heartbeat at or before ``t`` still succeeded; declaration
+    lands ``count`` grid periods later.
+    """
+    return (math.floor(t / period) + count) * period
+
+
+def compile_timeline(
+    schedule: FaultSchedule,
+    chaos: ChaosConfig,
+    server_ids: Sequence[object],
+    duration: float,
+) -> ChaosTimeline:
+    """Resolve ``schedule`` into an ordered, guard-checked event list.
+
+    Pure in its arguments: the same ``(schedule, chaos, server order,
+    duration)`` always compiles to the identical timeline, which the
+    determinism tests assert via the chaos fingerprint.
+    """
+    period = chaos.heartbeat_period
+    misses = chaos.heartbeat_misses
+    recoveries = chaos.heartbeat_recoveries
+    slot_of: Dict[object, int] = {sid: i for i, sid in enumerate(server_ids)}
+    n = len(server_ids)
+    # Replayed membership state, advanced lazily to each fault's time.
+    failed = [False] * n
+    suspected = [False] * n
+    degraded = [False] * n
+    #: Pending state-clear instants: (time, field-list, slot).
+    clears: List[Tuple[float, List[bool], int]] = []
+    timeline = ChaosTimeline()
+
+    def settle(upto: float) -> None:
+        nonlocal clears
+        due = [c for c in clears if c[0] <= upto]
+        if due:
+            clears = [c for c in clears if c[0] > upto]
+            for _, flags, s in due:
+                flags[s] = False
+
+    def emit(time: float, action: str, s: int, factor: float = 1.0) -> None:
+        timeline.events.append(
+            TimelineEvent(
+                time=time, action=action, slot=s,
+                server_id=server_ids[s], factor=factor,
+            )
+        )
+
+    def compile_outage(
+        t: float, t_heal: float, s: int, kind: str,
+        on_crash: Optional[str], on_detect: str, on_readmit: str,
+    ) -> None:
+        """Shared crash/partition resolution: detect → evict → readmit."""
+        record = FailureRecord(server_ids[s], kind, t_fault=t)
+        timeline.failures.append(record)
+        if on_crash is not None:
+            emit(t, on_crash, s)
+        t_detect = _grid_declare(t, period, misses)
+        flags = failed if kind == "crash" else suspected
+        flags[s] = True
+        if t_heal <= t_detect or t_detect > duration:
+            # Undetected blip: healed before (or declared after) the
+            # horizon of anyone noticing — the layout never changes.
+            if t_heal <= duration:
+                record.t_heal = t_heal
+                record.t_readmit = t_heal
+                if on_crash is not None:
+                    emit(t_heal, "reboot", s)
+                clears.append((t_heal, flags, s))
+            return
+        record.t_detect = t_detect
+        emit(t_detect, on_detect, s)
+        if t_heal > duration:
+            return  # down for the rest of the run
+        record.t_heal = t_heal
+        t_readmit = _grid_declare(t_heal, period, recoveries)
+        if t_readmit > duration:
+            return  # healed but never confirmed before the horizon
+        record.t_readmit = t_readmit
+        emit(t_readmit, on_readmit, s)
+        clears.append((t_readmit, flags, s))
+
+    for event in schedule:
+        t = event.time
+        if t >= duration:
+            timeline.skipped += 1
+            continue
+        settle(t)
+        kind = event.kind
+        if kind in (FaultKind.CRASH, FaultKind.DELEGATE_CRASH):
+            if kind == FaultKind.DELEGATE_CRASH:
+                # The office falls to the lowest live, unsuspected slot
+                # (deterministic stand-in for the election order).
+                candidates = [
+                    s for s in range(n) if not failed[s] and not suspected[s]
+                ] or [s for s in range(n) if not failed[s]]
+                if not candidates:
+                    timeline.skipped += 1
+                    continue
+                s = candidates[0]
+            else:
+                s = slot_of.get(event.target)
+            live = n - sum(failed)
+            if s is None or failed[s] or live <= 2:
+                # Same guard as the scalar injector: never crash a dead
+                # server, never drop below a live survivor pair.
+                timeline.skipped += 1
+                continue
+            timeline.applied.append((t, kind, server_ids[s]))
+            compile_outage(
+                t, t + event.duration, s, "crash",
+                on_crash="crash", on_detect="detect", on_readmit="readmit",
+            )
+        elif kind == FaultKind.PARTITION:
+            nodes = tuple(event.target or ())
+            known = [slot_of[sid] for sid in nodes if sid in slot_of]
+            if not known:
+                timeline.skipped += 1
+                continue
+            timeline.applied.append((t, kind, nodes))
+            for s in known:
+                if failed[s] or suspected[s]:
+                    # Scalar parity: no new suspect record while the
+                    # server already has an open failure record.
+                    continue
+                # A partition isolates the control plane only — the
+                # server keeps draining its queue; the detector evicts
+                # it from the layout until the partition heals.
+                compile_outage(
+                    t, t + event.duration, s, "suspect",
+                    on_crash=None,
+                    on_detect="part-detect", on_readmit="part-readmit",
+                )
+        elif kind == FaultKind.STRAGGLE:
+            s = slot_of.get(event.target)
+            if s is None or failed[s] or degraded[s]:
+                timeline.skipped += 1
+                continue
+            factor = event.params[0] if event.params else 0.25
+            timeline.applied.append((t, kind, server_ids[s]))
+            degraded[s] = True
+            emit(t, "straggle-on", s, factor=factor)
+            t_off = t + event.duration
+            clears.append((t_off, degraded, s))
+            if t_off <= duration:
+                emit(t_off, "straggle-off", s)
+        elif kind == FaultKind.LINK_FAULTS:
+            # No message network on the vectorized path: nothing to
+            # drop, duplicate, or delay. Counted, never silently lost.
+            timeline.skipped += 1
+            timeline.link_faults_skipped += 1
+        else:  # pragma: no cover - schedule validation forbids this
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    timeline.events.sort(key=lambda e: e.time)
+    return timeline

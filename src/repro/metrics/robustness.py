@@ -134,6 +134,15 @@ class RobustnessReport:
     consistency_recovery_s: Optional[float]
     #: Whole-run aggregate latency (for cross-rate comparison).
     mean_latency: float
+    #: Classified in-flight remainder at the horizon (defaults keep
+    #: older pickled/row constructors valid): queued on a live server,
+    #: awaiting backoff/re-location, or held in the dispatch latch.
+    requests_in_flight_queued: int = 0
+    requests_in_flight_backoff: int = 0
+    requests_in_flight_dispatch: int = 0
+    #: In-flight requests the classification cannot account for — zero
+    #: by the conservation invariant.
+    requests_lost: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -162,6 +171,10 @@ class RobustnessReport:
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
             "requests_in_flight": self.requests_in_flight,
+            "requests_in_flight_queued": self.requests_in_flight_queued,
+            "requests_in_flight_backoff": self.requests_in_flight_backoff,
+            "requests_in_flight_dispatch": self.requests_in_flight_dispatch,
+            "requests_lost": self.requests_lost,
             "retries_per_request": round(self.retries_per_request, 6),
             "redirects": self.redirects,
             "timeouts": self.timeouts,
@@ -201,4 +214,8 @@ def robustness_report(
         invariant_violations=result.invariant_violations,
         consistency_recovery_s=consistency_recovery_time(result),
         mean_latency=mean if not math.isnan(mean) else 0.0,
+        requests_in_flight_queued=result.requests_in_flight_queued,
+        requests_in_flight_backoff=result.requests_in_flight_backoff,
+        requests_in_flight_dispatch=result.requests_in_flight_dispatch,
+        requests_lost=result.requests_lost,
     )

@@ -70,6 +70,16 @@ class BoundedLoadConsistentHashing(LoadManager):
         self._assign: Optional[np.ndarray] = None
         self._index: Optional[Dict[str, int]] = None
         self.capacity = 0
+        #: Per-server liveness under churn (a dead server owns no ring
+        #: arcs until re-admitted).
+        self._alive = np.ones(len(self.server_ids), dtype=bool)
+        #: Original home of each displaced item (-1 = at home). First
+        #: home wins: an item bounced through several refuges still
+        #: returns to its original owner on that owner's recovery.
+        self._displaced_from: Optional[np.ndarray] = None
+        #: Offsets of every item (kept for deterministic churn order).
+        self._offsets: Optional[np.ndarray] = None
+        self.total_sheds = 0
 
     # ------------------------------------------------------------------ #
     def initial_placement(
@@ -82,10 +92,32 @@ class BoundedLoadConsistentHashing(LoadManager):
         ring_size = self._ring_points.size
         self.capacity = max(1, math.ceil(self.capacity_factor * m / k))
         offsets = self.hash_family.batch_offsets(self._names, 0)
-        base = np.searchsorted(self._ring_points, offsets, side="right") % ring_size
+        self._offsets = offsets
+        self._base = np.searchsorted(
+            self._ring_points, offsets, side="right"
+        ) % ring_size
         assign = np.full(m, -1, dtype=np.int64)
         load = np.zeros(k, dtype=np.int64)
-        unplaced = np.arange(m)
+        self._place(np.arange(m), assign, load)
+        self._assign = assign
+        self.load = load
+        self._displaced_from = np.full(m, -1, dtype=np.int64)
+        return {}
+
+    def _place(
+        self, unplaced: np.ndarray, assign: np.ndarray, load: np.ndarray
+    ) -> None:
+        """Round-based bounded admission of ``unplaced`` onto the ring.
+
+        Dead servers (``_alive`` false) have zero remaining capacity,
+        so the clockwise walk skips them — the churn path reuses the
+        exact initial-placement admission order.
+        """
+        k = len(self.server_ids)
+        ring_size = self._ring_points.size
+        offsets = self._offsets
+        base = self._base
+        avail_cap = np.where(self._alive, self.capacity, 0)
         for step in range(ring_size):
             if unplaced.size == 0:
                 break
@@ -98,21 +130,20 @@ class BoundedLoadConsistentHashing(LoadManager):
             group_start = np.flatnonzero(np.r_[True, cand[1:] != cand[:-1]])
             sizes = np.diff(np.r_[group_start, cand.size])
             position = np.arange(cand.size) - np.repeat(group_start, sizes)
-            admitted = position < (self.capacity - load)[cand]
+            admitted = position < np.maximum(avail_cap - load, 0)[cand]
             assign[items[admitted]] = cand[admitted]
             load += np.bincount(cand[admitted], minlength=k)
             unplaced = items[~admitted]
         # A round admits bounded batches, so with extreme skew a few
         # items can outlast the walk; spill them to the least-loaded
-        # server in offset order (deterministic, still bound-respecting
-        # because total capacity exceeds m).
-        for i in unplaced[np.argsort(offsets[unplaced], kind="stable")]:
-            slot = int(np.argmin(load))
-            assign[i] = slot
-            load[slot] += 1
-        self._assign = assign
-        self.load = load
-        return {}
+        # live server in offset order (deterministic, still
+        # bound-respecting because total capacity exceeds m).
+        if unplaced.size:
+            live = np.flatnonzero(self._alive)
+            for i in unplaced[np.argsort(offsets[unplaced], kind="stable")]:
+                slot = int(live[np.argmin(load[live])])
+                assign[i] = slot
+                load[slot] += 1
 
     # ------------------------------------------------------------------ #
     def locate(self, fileset: str) -> object:
@@ -128,6 +159,67 @@ class BoundedLoadConsistentHashing(LoadManager):
 
     def rebalance(self, ctx: RebalanceContext) -> List[Move]:
         """Static placement: tuning rounds change nothing."""
+        return []
+
+    # ------------------------------------------------------------------ #
+    # churn (vectorized chaos path)
+    # ------------------------------------------------------------------ #
+    def _recompute_capacity(self) -> None:
+        k_alive = int(self._alive.sum())
+        if k_alive:
+            self.capacity = max(
+                1, math.ceil(self.capacity_factor * len(self._names) / k_alive)
+            )
+
+    def server_failed(self, server_id: object) -> List[Move]:
+        """Displace a dead server's items clockwise to live servers.
+
+        The bound rescales to the surviving count (``ceil(c·m/k_alive)``)
+        and the displaced items continue their own ring walks — the
+        minimal-disruption property of consistent hashing: nothing
+        already on a live server moves.
+        """
+        slot = self._slot.get(server_id)
+        if slot is None or not self._alive[slot]:
+            return []
+        if int(self._alive.sum()) <= 1:
+            return []  # refuse to displace onto an empty cluster
+        self._alive[slot] = False
+        self._recompute_capacity()
+        items = np.flatnonzero(self._assign == slot)
+        if items.size == 0:
+            return []
+        # First home wins: only record a home for items that were not
+        # already refugees from an earlier crash.
+        fresh = self._displaced_from[items] == -1
+        self._displaced_from[items[fresh]] = slot
+        self.load[slot] -= items.size
+        self._assign[items] = -1
+        self._place(items, self._assign, self.load)
+        self.total_sheds += int(items.size)
+        return []
+
+    def server_added(self, server_id: object, power_hint=None) -> List[Move]:
+        """Return a recovered server's displaced items to their home.
+
+        Exactly the items the crash displaced move back (their original
+        placement respected the original, tighter bound); everything
+        else stays put, and the bound relaxes back toward the full-
+        cluster capacity.
+        """
+        slot = self._slot.get(server_id)
+        if slot is None or self._alive[slot]:
+            return []
+        self._alive[slot] = True
+        self._recompute_capacity()
+        home = np.flatnonzero(self._displaced_from == slot)
+        if home.size:
+            refuge = self._assign[home]
+            self.load -= np.bincount(refuge, minlength=self.load.size)
+            self._assign[home] = slot
+            self.load[slot] += home.size
+            self._displaced_from[home] = -1
+            self.total_sheds += int(home.size)
         return []
 
     def shared_state_entries(self) -> int:

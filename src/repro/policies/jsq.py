@@ -63,6 +63,11 @@ class JSQd(LoadManager):
         self._candidates: Optional[np.ndarray] = None
         self._assign: Optional[np.ndarray] = None
         self._index: Optional[Dict[str, int]] = None
+        #: Per-server liveness under churn; dead candidates estimate ∞.
+        self._alive = np.ones(len(self.server_ids), dtype=bool)
+        #: Last interval's latency estimates (stale between rounds —
+        #: deliberately: JSQ(d) decisions run on interval feedback).
+        self._estimate = np.zeros(len(self.server_ids), dtype=np.float64)
         self.total_sheds = 0
 
     # ------------------------------------------------------------------ #
@@ -106,10 +111,8 @@ class JSQd(LoadManager):
             slot = self._slot.get(report.server_id)
             if slot is not None and not math.isnan(report.mean_latency):
                 estimate[slot] = report.mean_latency
-        # First minimum wins on ties (argmin), so rounds replay
-        # deterministically.
-        pick = np.argmin(estimate[self._candidates], axis=1)
-        new = self._candidates[np.arange(self._candidates.shape[0]), pick]
+        self._estimate = estimate
+        new = self._pick(np.arange(self._assign.shape[0]))
         changed = np.flatnonzero(new != self._assign)
         old = self._assign
         self._assign = new
@@ -119,6 +122,50 @@ class JSQd(LoadManager):
         names = self._names
         sids = self.server_ids
         return [Move(names[i], sids[old[i]], sids[new[i]]) for i in changed]
+
+    def _pick(self, items: np.ndarray) -> np.ndarray:
+        """Best live candidate of each item on the latest estimates.
+
+        Dead servers estimate ``inf`` so they are never chosen while a
+        live candidate exists; an item whose candidates are *all* dead
+        falls back to the globally least-loaded live server (the
+        cluster-wide shortest queue — d widens to k under duress).
+        First minimum wins on ties (argmin), so rounds replay
+        deterministically.
+        """
+        masked = np.where(self._alive, self._estimate, np.inf)
+        cand = self._candidates[items]
+        pick = np.argmin(masked[cand], axis=1)
+        new = cand[np.arange(items.shape[0]), pick]
+        stranded = ~self._alive[new]
+        if stranded.any():
+            new[stranded] = int(np.argmin(masked))
+        return new
+
+    # ------------------------------------------------------------------ #
+    # churn (vectorized chaos path)
+    # ------------------------------------------------------------------ #
+    def server_failed(self, server_id: object) -> List[Move]:
+        """Re-pick only the dead server's items among their candidates."""
+        slot = self._slot.get(server_id)
+        if slot is None or not self._alive[slot]:
+            return []
+        if int(self._alive.sum()) <= 1:
+            return []  # refuse to strand the whole catalog
+        self._alive[slot] = False
+        items = np.flatnonzero(self._assign == slot)
+        if items.size == 0:
+            return []
+        self._assign[items] = self._pick(items)
+        self.total_sheds += int(items.size)
+        return []
+
+    def server_added(self, server_id: object, power_hint=None) -> List[Move]:
+        """Unmask a recovered server; items return via normal re-picks."""
+        slot = self._slot.get(server_id)
+        if slot is not None:
+            self._alive[slot] = True
+        return []
 
     def shared_state_entries(self) -> int:
         """One latency estimate per server."""

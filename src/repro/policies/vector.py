@@ -63,9 +63,12 @@ class VectorANU(LoadManager):
         self._probes: Optional[ProbeMatrix] = None
         self._assign: Optional[np.ndarray] = None
         self._index: Optional[Dict[str, int]] = None
-        #: Reconfiguration epoch (bumps on every rebalance).
+        #: Reconfiguration epoch (bumps on every rebalance/churn).
         self.epoch = 0
         self._vector_cache: Optional[Tuple[int, np.ndarray]] = None
+        #: Slots currently evicted from the layout (churn); probes are
+        #: blocked from resolving into them even transiently.
+        self._blocked = np.zeros(len(self.server_ids), dtype=bool)
         self.total_sheds = 0
         self.total_lookups = 0
         self.total_probes = 0
@@ -92,7 +95,8 @@ class VectorANU(LoadManager):
 
     def _relocate(self) -> None:
         table = SegmentTable.from_layout(self.layout, self._slot)
-        self._assign, used = batched_locate(self._probes, table)
+        blocked = self._blocked if self._blocked.any() else None
+        self._assign, used = batched_locate(self._probes, table, blocked=blocked)
         self.total_lookups += len(self._names)
         self.total_probes += int(used.sum())
 
@@ -118,8 +122,17 @@ class VectorANU(LoadManager):
     def rebalance(self, ctx: RebalanceContext) -> List[Move]:
         """One tuning round: scale regions, re-resolve the catalog."""
         before = self.layout.lengths()
-        targets = self.policy.compute_targets(before, list(ctx.reports))
+        members = set(self.layout.server_ids)
+        # Under churn a partition-evicted server keeps reporting (its
+        # data plane is up) — the controller only understands layout
+        # members, so filter rather than raise mid-run.
+        reports = [r for r in ctx.reports if r.server_id in members]
+        targets = self.policy.compute_targets(before, reports)
         self.engine.apply_targets(self.layout, targets)
+        return self._reshuffle()
+
+    def _reshuffle(self) -> List[Move]:
+        """Re-resolve the catalog against the current layout."""
         old = self._assign
         self.epoch += 1
         self._vector_cache = None
@@ -132,6 +145,30 @@ class VectorANU(LoadManager):
         sids = self.server_ids
         new = self._assign
         return [Move(names[i], sids[old[i]], sids[new[i]]) for i in changed]
+
+    # ------------------------------------------------------------------ #
+    # churn (vectorized chaos path)
+    # ------------------------------------------------------------------ #
+    def server_failed(self, server_id: object) -> List[Move]:
+        """Evict a declared-failed server and re-resolve its regions.
+
+        The survivors' regions rescale proportionally (no full
+        rebuild); only file sets that probed into the victim's regions
+        move, which is what the movement-on-churn metric measures.
+        """
+        if server_id not in self.layout.server_ids or self.layout.n_servers <= 1:
+            return []
+        self.engine.evict(self.layout, server_id)
+        self._blocked[self._slot[server_id]] = True
+        return self._reshuffle()
+
+    def server_added(self, server_id: object, power_hint=None) -> List[Move]:
+        """Re-admit a recovered server with a fresh default region."""
+        if server_id in self.layout.server_ids:
+            return []
+        self.engine.admit(self.layout, server_id)
+        self._blocked[self._slot[server_id]] = False
+        return self._reshuffle()
 
     # ------------------------------------------------------------------ #
     def shared_state_entries(self) -> int:

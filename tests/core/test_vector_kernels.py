@@ -10,6 +10,7 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import ANUManager, HashFamily
 from repro.core.errors import LookupExhaustedError
@@ -173,6 +174,54 @@ class TestBatchedLocate:
         )
         with pytest.raises(LookupExhaustedError):
             batched_locate(ProbeMatrix(["/lost"], fam), table)
+
+
+class TestBatchedLocateBlocked:
+    """The alive-mask guarantee: blocked slots are never routed to."""
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_never_routes_to_blocked_slot(self, data):
+        k = data.draw(st.integers(min_value=3, max_value=7), label="k")
+        seed = data.draw(st.integers(min_value=0, max_value=12), label="seed")
+        n_blocked = data.draw(st.integers(min_value=0, max_value=k // 2), label="nb")
+        which = data.draw(st.permutations(list(range(k))), label="which")
+        sids = SIDS[:k]
+        table = SegmentTable.from_layout(_shuffled_layout(sids, seed=seed), _slots(sids))
+        blocked = np.zeros(k, dtype=bool)
+        blocked[which[:n_blocked]] = True
+        probes = ProbeMatrix([f"/fs/{i}" for i in range(150)], HashFamily(seed=seed))
+        owner, used = batched_locate(probes, table, blocked=blocked)
+        assert (owner >= 0).all()
+        assert not blocked[owner].any()
+        # Blocking only removes acceptances: a walk never gets shorter,
+        # and a walk of unchanged length accepted the identical probe.
+        base_owner, base_used = batched_locate(probes, table)
+        assert (used >= base_used).all()
+        same = used == base_used
+        np.testing.assert_array_equal(owner[same], base_owner[same])
+
+    def test_all_clear_mask_is_identity(self):
+        sids = SIDS[:5]
+        table = SegmentTable.from_layout(_shuffled_layout(sids, seed=2), _slots(sids))
+        probes = ProbeMatrix([f"/fs/{i}" for i in range(300)], HashFamily(seed=2))
+        owner, used = batched_locate(probes, table)
+        owner_m, used_m = batched_locate(
+            probes, table, blocked=np.zeros(5, dtype=bool)
+        )
+        np.testing.assert_array_equal(owner, owner_m)
+        np.testing.assert_array_equal(used, used_m)
+
+    def test_majority_blocked_still_resolves_clean(self):
+        # Three of five slots dead: every resolution must land on the
+        # two survivors, walking as deep as the probe budget demands.
+        sids = SIDS[:5]
+        table = SegmentTable.from_layout(_shuffled_layout(sids, seed=6), _slots(sids))
+        blocked = np.array([True, True, True, False, False])
+        probes = ProbeMatrix([f"/fs/{i}" for i in range(500)], HashFamily(seed=6))
+        owner, used = batched_locate(probes, table, blocked=blocked)
+        assert set(np.unique(owner)) <= {3, 4}
+        assert used.max() > 1  # somebody had to re-hash past a dead slot
 
 
 def _scalar_fifo(arrival, service, server_idx, free_at):

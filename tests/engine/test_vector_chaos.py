@@ -1,0 +1,227 @@
+"""Array-native chaos on the vectorized path.
+
+The vectorized fault layer must reproduce the scalar chaos harness's
+*semantics* — same guards, same detection instants, same conservation
+guarantees — while running entirely on compiled timelines and masked
+arrays. These tests pin:
+
+* determinism: one ``(seed, schedule)`` → one chaos fingerprint;
+* conservation: every injected request is completed or classified at
+  the horizon (``requests_lost == 0``), under every sweep policy;
+* scalar/vector parity: the identical schedule applied through the
+  scalar injector and the compiled timeline yields identical applied
+  logs and failure timelines, with zero invariant violations on both;
+* recovery mechanics: orphan re-drives, straggler slowdown/restore,
+  and churn re-location all leave the audit clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cache import CacheConfig
+from repro.engine import (
+    ChaosConfig,
+    ClusterConfig,
+    ExperimentSpec,
+    VectorChaosFaultLayer,
+    VectorizedClientPath,
+)
+from repro.experiments.chaos import run_chaos
+from repro.experiments.scale import make_scale_policy, scale_powers
+from repro.faults import chaos_fingerprint, random_schedule
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.workloads.scale import ScaleConfig, generate_scale
+
+POLICIES = ("anu", "chbl", "jsq2")
+
+
+def vector_chaos_run(
+    policy_name="anu",
+    seed=3,
+    n_servers=5,
+    n_filesets=50,
+    n_requests=4_000,
+    duration=600.0,
+    fault_rate=0.02,
+    schedule=None,
+    chaos=None,
+):
+    """One small vectorized chaos run (the chaos-scale cell, miniature)."""
+    powers = scale_powers(n_servers)
+    chaos = chaos or ChaosConfig(seed=seed)
+    if schedule is None:
+        schedule = random_schedule(
+            seed=seed,
+            duration=duration,
+            server_ids=list(powers),
+            fault_rate=fault_rate,
+            min_outage=max(30.0, 3.0 * chaos.detection_latency_bound),
+        )
+    workload = generate_scale(
+        ScaleConfig(
+            n_filesets=n_filesets,
+            target_requests=n_requests,
+            duration=duration,
+            total_capacity=sum(powers.values()),
+        ),
+        seed=seed,
+    )
+    engine = ExperimentSpec(
+        workload=workload.fork(),
+        policy=make_scale_policy(policy_name, list(powers)),
+        config=ClusterConfig(
+            server_powers=powers,
+            tuning_interval=60.0,
+            cache=CacheConfig(flush_work_scale=0.0, cold_factor=1.0, warmup_time=0.0),
+            supply_knowledge=False,
+        ),
+        client_path=VectorizedClientPath(),
+        faults=VectorChaosFaultLayer(schedule=schedule, chaos=chaos),
+    ).build()
+    return engine.run_chaos()
+
+
+class TestDeterminism:
+    def test_same_seed_same_fingerprint(self):
+        a = vector_chaos_run(policy_name="anu", seed=3)
+        b = vector_chaos_run(policy_name="anu", seed=3)
+        assert chaos_fingerprint(a) == chaos_fingerprint(b)
+
+    def test_seed_changes_fingerprint(self):
+        a = vector_chaos_run(policy_name="anu", seed=3)
+        b = vector_chaos_run(policy_name="anu", seed=4)
+        assert chaos_fingerprint(a) != chaos_fingerprint(b)
+
+    def test_policies_share_schedule_but_not_fingerprint(self):
+        runs = {name: vector_chaos_run(policy_name=name, seed=3) for name in POLICIES}
+        assert len({chaos_fingerprint(r) for r in runs.values()}) == len(POLICIES)
+        # Same compiled timeline underneath.
+        assert len({r.faults_injected for r in runs.values()}) == 1
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_zero_violations_and_classified_horizon(self, policy_name):
+        result = vector_chaos_run(policy_name=policy_name, seed=3)
+        assert result.faults_injected > 0  # the run actually hurt
+        assert result.invariant_checks > 0
+        assert result.invariant_violations == 0
+        assert result.requests_failed == 0
+        assert result.requests_injected == (
+            result.requests_completed + result.requests_in_flight
+        )
+        # The in-flight remainder is fully classified, nothing lost.
+        assert result.requests_in_flight == (
+            result.requests_in_flight_queued + result.requests_in_flight_backoff
+        )
+        assert result.requests_lost == 0
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_detection_within_analytic_bound(self, policy_name):
+        result = vector_chaos_run(policy_name=policy_name, seed=3)
+        assert result.detection_latencies  # something was declared
+        assert max(result.detection_latencies) <= result.detection_latency_bound + 1e-9
+        assert result.failure_declarations == len(
+            [r for r in result.failures if r.t_detect is not None]
+        )
+
+
+class TestRecoveryMechanics:
+    def test_crash_orphans_are_redriven_not_lost(self):
+        schedule = FaultSchedule(
+            (FaultEvent(time=100.0, kind=FaultKind.CRASH, target=1, duration=120.0),)
+        )
+        result = vector_chaos_run(schedule=schedule, seed=2)
+        assert result.faults_injected == 1
+        assert result.failure_declarations == 1
+        assert result.recovery_declarations == 1
+        # The crash stranded queued work; every orphan was re-driven.
+        assert result.timeouts > 0
+        assert result.retries >= result.timeouts
+        assert result.requests_lost == 0
+        assert result.invariant_violations == 0
+
+    def test_straggler_slowdown_and_restore(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(
+                    time=100.0, kind=FaultKind.STRAGGLE, target=4,
+                    duration=200.0, params=(0.25,),
+                ),
+            )
+        )
+        result = vector_chaos_run(schedule=schedule, seed=2)
+        assert result.faults_injected == 1
+        # A straggler is not a failure: no declarations, no evictions.
+        assert result.failure_declarations == 0
+        assert result.timeouts == 0
+        assert result.requests_lost == 0
+        assert result.invariant_violations == 0
+        baseline = vector_chaos_run(schedule=FaultSchedule(), seed=2)
+        slow = result.base.aggregate_mean_latency
+        assert slow > baseline.base.aggregate_mean_latency
+
+    def test_partition_keeps_data_plane_draining(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(
+                    time=100.0, kind=FaultKind.PARTITION, target=(2,), duration=120.0
+                ),
+            )
+        )
+        result = vector_chaos_run(schedule=schedule, seed=2)
+        # Control-plane isolation only: the layout evicts and re-admits,
+        # but the server never crashed, so nothing was orphaned.
+        assert result.failure_declarations == 1
+        assert result.recovery_declarations == 1
+        assert result.timeouts == 0
+        assert result.requests_lost == 0
+        assert result.invariant_violations == 0
+
+    def test_empty_schedule_matches_null_path_counts(self):
+        result = vector_chaos_run(schedule=FaultSchedule(), seed=2)
+        assert result.faults_injected == 0
+        assert result.failures == []
+        assert result.retries == result.redirects == result.timeouts == 0
+        assert result.requests_lost == 0
+        assert result.invariant_violations == 0
+
+
+class TestScalarVectorParity:
+    def test_same_schedule_same_fault_semantics(self):
+        # Identical schedule, identical five-server cluster ids. The
+        # scalar path runs the reactive injector + live heartbeat
+        # monitor; the vector path replays the compiled timeline. The
+        # observable fault semantics must agree exactly.
+        seed = 5
+        duration = 600.0
+        schedule = random_schedule(
+            seed=seed,
+            duration=duration,
+            server_ids=list(scale_powers(5)),
+            fault_rate=0.01,
+            min_outage=30.0,
+            # Kinds whose victims resolve identically on both paths
+            # (delegate-crash elects, link-faults need a network).
+            kinds=(FaultKind.CRASH, FaultKind.PARTITION, FaultKind.STRAGGLE),
+        )
+        scalar = run_chaos(seed=seed, scale=0.05, schedule=schedule)
+        vector = vector_chaos_run(
+            policy_name="anu", seed=seed, duration=duration, schedule=schedule
+        )
+        assert scalar.applied == vector.applied
+        assert scalar.faults_injected == vector.faults_injected
+        assert scalar.faults_skipped >= vector.faults_skipped - (
+            # Link faults are analytic skips on the vector path only.
+            sum(1 for e in schedule if e.kind == FaultKind.LINK_FAULTS)
+        )
+        assert [
+            (r.server_id, r.kind, r.t_fault, r.t_detect, r.t_heal, r.t_readmit)
+            for r in scalar.failures
+        ] == [
+            (r.server_id, r.kind, r.t_fault, r.t_detect, r.t_heal, r.t_readmit)
+            for r in vector.failures
+        ]
+        assert scalar.invariant_violations == vector.invariant_violations == 0
+        assert scalar.requests_lost == vector.requests_lost == 0

@@ -1,7 +1,8 @@
-"""Zero-copy fan-out: payload sharing, ordering, and loud crashes."""
+"""Zero-copy fan-out: payload sharing, ordering, and crash recovery."""
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 
 import pytest
@@ -21,9 +22,30 @@ def _payload_sum(job: int) -> int:
     return job + sum(payload["numbers"])
 
 
-def _crash_on_three(job: int) -> int:
+def _crash_in_worker(job: int) -> int:
+    # Simulate a worker segfault: no exception, no cleanup. Guarded to
+    # pool workers only, so the in-process fallback (which runs in the
+    # test process) completes instead of killing pytest.
+    if job == 3 and mp.parent_process() is not None:
+        os._exit(13)
+    return job
+
+
+def _crash_once(job: int) -> int:
+    # Crash the first worker that sees job 3, then behave: the fresh
+    # retry pool must succeed without reaching the in-process fallback.
+    if job == 3 and mp.parent_process() is not None:
+        flag = shared_payload()["flag"]
+        if not os.path.exists(flag):
+            with open(flag, "w") as fh:
+                fh.write("crashed")
+            os._exit(13)
+    return job
+
+
+def _raise_on_three(job: int) -> int:
     if job == 3:
-        os._exit(13)  # simulate a worker segfault: no exception, no cleanup
+        raise ValueError("job three is poisonous")
     return job
 
 
@@ -60,10 +82,36 @@ class TestStreamMap:
         )
         assert out == [4950, 4960, 5050, 5950]
 
-    def test_worker_crash_surfaces_runtime_error(self):
-        with pytest.raises(RuntimeError, match="no partial results were merged"):
+    def test_transient_worker_crash_recovers_via_retry(self, tmp_path):
+        # The first worker to see job 3 dies; the fresh-pool retry runs
+        # it clean. Full, ordered results, no in-process fallback.
+        out = stream_map(
+            _crash_once,
+            [1, 2, 3, 4, 5, 6],
+            payload={"flag": str(tmp_path / "crashed")},
+            max_workers=2,
+            chunk_size=1,
+        )
+        assert out == [1, 2, 3, 4, 5, 6]
+        assert (tmp_path / "crashed").exists()  # the crash really fired
+
+    def test_persistent_worker_crash_falls_back_in_process(self, capsys):
+        # Job 3 kills every pool worker that touches it; its chunk must
+        # eventually run in-process while every other chunk still
+        # completes, in order.
+        out = stream_map(
+            _crash_in_worker, [1, 2, 3, 4, 5, 6], max_workers=2, chunk_size=1
+        )
+        assert out == [1, 2, 3, 4, 5, 6]
+        captured = capsys.readouterr()
+        assert "running it in-process" in captured.err
+
+    def test_job_exception_stays_loud(self):
+        # An exception raised by fn is not a crash: no retry, no
+        # fallback masking — it propagates.
+        with pytest.raises(ValueError, match="poisonous"):
             stream_map(
-                _crash_on_three, [1, 2, 3, 4, 5, 6], max_workers=2, chunk_size=1
+                _raise_on_three, [1, 2, 3, 4, 5, 6], max_workers=2, chunk_size=1
             )
 
 

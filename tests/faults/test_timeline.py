@@ -1,0 +1,150 @@
+"""Compiling fault schedules into deterministic event timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.record import ChaosConfig
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule, random_schedule
+from repro.faults.timeline import compile_timeline
+
+SIDS = list(range(5))
+#: period 2.0, misses 3, recoveries 2 → detection bound 8.0 s.
+CHAOS = ChaosConfig(seed=1)
+
+
+def _compile(events, duration=600.0, server_ids=SIDS, chaos=CHAOS):
+    return compile_timeline(FaultSchedule(tuple(events)), chaos, server_ids, duration)
+
+
+class TestCrashResolution:
+    def test_crash_detect_readmit_on_heartbeat_grid(self):
+        # Crash at 10.5: last good heartbeat at 10.0, declaration three
+        # missed periods later at 16.0. Heal at 50.5: re-admission two
+        # confirmation periods after the 50.0 gridpoint, at 54.0.
+        tl = _compile([FaultEvent(time=10.5, kind="crash", target=2, duration=40.0)])
+        assert [(e.time, e.action, e.slot) for e in tl.events] == [
+            (10.5, "crash", 2),
+            (16.0, "detect", 2),
+            (54.0, "readmit", 2),
+        ]
+        (rec,) = tl.failures
+        assert (rec.t_fault, rec.t_detect, rec.t_heal, rec.t_readmit) == (
+            10.5, 16.0, 50.5, 54.0,
+        )
+        assert rec.detection_latency() <= CHAOS.detection_latency_bound
+
+    def test_blip_heals_in_place_without_detection(self):
+        # Healed at 14.0, before the 16.0 declaration: the layout never
+        # changes; the server reboots in place.
+        tl = _compile([FaultEvent(time=10.0, kind="crash", target=1, duration=4.0)])
+        assert [(e.time, e.action) for e in tl.events] == [
+            (10.0, "crash"),
+            (14.0, "reboot"),
+        ]
+        (rec,) = tl.failures
+        assert rec.t_detect is None
+        assert rec.t_readmit == 14.0
+
+    def test_crash_guards_replay_scalar_rules(self):
+        tl = _compile(
+            [
+                FaultEvent(time=10.0, kind="crash", target=0, duration=200.0),
+                # Dead already: skipped.
+                FaultEvent(time=20.0, kind="crash", target=0, duration=50.0),
+                FaultEvent(time=30.0, kind="crash", target=1, duration=200.0),
+                # Two live survivors left: skipped.
+                FaultEvent(time=40.0, kind="crash", target=2, duration=50.0),
+                # Unknown server: skipped.
+                FaultEvent(time=50.0, kind="crash", target=99, duration=50.0),
+            ],
+            server_ids=SIDS[:4],
+        )
+        assert tl.injected == 2
+        assert tl.skipped == 3
+        assert [victim for _, _, victim in tl.applied] == [0, 1]
+
+    def test_fault_past_horizon_skipped(self):
+        tl = _compile([FaultEvent(time=700.0, kind="crash", target=0, duration=10.0)])
+        assert tl.injected == 0 and tl.skipped == 1 and not tl.events
+
+    def test_outage_past_horizon_stays_down(self):
+        tl = _compile([FaultEvent(time=100.0, kind="crash", target=0, duration=900.0)])
+        assert [e.action for e in tl.events] == ["crash", "detect"]
+        (rec,) = tl.failures
+        assert rec.t_heal is None and rec.t_readmit is None
+
+
+class TestOtherKinds:
+    def test_delegate_crash_resolves_to_lowest_live_slot(self):
+        tl = _compile(
+            [
+                FaultEvent(time=10.0, kind="crash", target=0, duration=300.0),
+                FaultEvent(time=100.0, kind="delegate-crash", duration=60.0),
+            ]
+        )
+        # Slot 0 is down, so the office falls to slot 1.
+        assert tl.applied[1][2] == SIDS[1]
+
+    def test_partition_is_control_plane_only(self):
+        tl = _compile([FaultEvent(time=9.0, kind="partition", target=(1, 2), duration=60.0)])
+        assert [(e.time, e.action, e.slot) for e in tl.events] == [
+            (14.0, "part-detect", 1),
+            (14.0, "part-detect", 2),
+            (72.0, "part-readmit", 1),
+            (72.0, "part-readmit", 2),
+        ]
+        assert all(rec.kind == "suspect" for rec in tl.failures)
+
+    def test_straggle_carries_factor_and_restores(self):
+        tl = _compile(
+            [FaultEvent(time=5.0, kind="straggle", target=3, duration=50.0, params=(0.25,))]
+        )
+        assert [(e.time, e.action, e.factor) for e in tl.events] == [
+            (5.0, "straggle-on", 0.25),
+            (55.0, "straggle-off", 1.0),
+        ]
+
+    def test_straggle_on_degraded_server_skipped(self):
+        tl = _compile(
+            [
+                FaultEvent(time=5.0, kind="straggle", target=3, duration=100.0, params=(0.5,)),
+                FaultEvent(time=20.0, kind="straggle", target=3, duration=50.0, params=(0.5,)),
+                # The first window clears at 105; a later straggle lands.
+                FaultEvent(time=110.0, kind="straggle", target=3, duration=50.0, params=(0.5,)),
+            ]
+        )
+        assert tl.injected == 2 and tl.skipped == 1
+
+    def test_link_faults_compile_to_counted_skips(self):
+        tl = _compile(
+            [FaultEvent(time=5.0, kind="link-faults", duration=50.0, params=(0.1, 0.0, 0.001))]
+        )
+        assert not tl.events
+        assert tl.skipped == 1 and tl.link_faults_skipped == 1
+
+
+class TestDeterminism:
+    def test_events_sorted_by_time(self):
+        sched = random_schedule(
+            seed=7, duration=600.0, server_ids=SIDS, fault_rate=0.05, min_outage=30.0
+        )
+        tl = compile_timeline(sched, CHAOS, SIDS, 600.0)
+        times = [e.time for e in tl.events]
+        assert times == sorted(times)
+
+    def test_compile_is_pure(self):
+        sched = random_schedule(
+            seed=11, duration=600.0, server_ids=SIDS, fault_rate=0.05, min_outage=30.0
+        )
+        a = compile_timeline(sched, CHAOS, SIDS, 600.0)
+        b = compile_timeline(sched, CHAOS, SIDS, 600.0)
+        assert a.events == b.events
+        assert a.applied == b.applied
+        assert a.skipped == b.skipped
+
+    def test_unknown_action_rejected(self):
+        from repro.faults.timeline import TimelineEvent
+
+        with pytest.raises(ValueError, match="unknown timeline action"):
+            TimelineEvent(time=0.0, action="explode", slot=0, server_id=0)

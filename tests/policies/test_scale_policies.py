@@ -126,3 +126,97 @@ class TestJSQd:
     def test_name_includes_d(self):
         assert JSQd(SIDS, d=2).name == "jsq2"
         assert JSQd(SIDS, d=4).name == "jsq4"
+
+
+class TestBoundedLoadChurn:
+    def test_failed_server_sheds_everything_to_live_servers(self):
+        policy = BoundedLoadConsistentHashing(SIDS, hash_family=HashFamily(seed=0))
+        policy.initial_placement(_catalog(200), None)
+        on_dead = int((policy._assign == 2).sum())
+        assert on_dead > 0
+        policy.server_failed(SIDS[2])
+        assert not (policy._assign == 2).any()
+        assert (policy._assign >= 0).all()
+        assert policy.total_sheds == on_dead
+        # Loads stay a faithful histogram of the assignment.
+        np.testing.assert_array_equal(
+            policy.load, np.bincount(policy._assign, minlength=len(SIDS))
+        )
+
+    def test_capacity_rescales_to_survivors(self):
+        policy = BoundedLoadConsistentHashing(
+            SIDS, hash_family=HashFamily(seed=0), capacity_factor=1.25
+        )
+        policy.initial_placement(_catalog(400), None)
+        policy.server_failed(SIDS[0])
+        cap = math.ceil(1.25 * 400 / (len(SIDS) - 1))
+        assert policy.capacity == cap
+        counts = np.bincount(policy._assign, minlength=len(SIDS))
+        assert counts.max() <= cap
+
+    def test_recovery_returns_exactly_the_displaced_items(self):
+        policy = BoundedLoadConsistentHashing(SIDS, hash_family=HashFamily(seed=1))
+        policy.initial_placement(_catalog(200), None)
+        home = np.flatnonzero(policy._assign == 3)
+        others = policy._assign[policy._assign != 3].copy()
+        policy.server_failed(SIDS[3])
+        policy.server_added(SIDS[3])
+        assert (policy._assign[home] == 3).all()
+        np.testing.assert_array_equal(policy._assign[policy._assign != 3], others)
+        assert (policy._displaced_from == -1).all()
+        np.testing.assert_array_equal(
+            policy.load, np.bincount(policy._assign, minlength=len(SIDS))
+        )
+
+    def test_first_home_wins_across_cascading_failures(self):
+        policy = BoundedLoadConsistentHashing(SIDS, hash_family=HashFamily(seed=2))
+        policy.initial_placement(_catalog(300), None)
+        home = np.flatnonzero(policy._assign == 0)
+        policy.server_failed(SIDS[0])
+        # Some refugees may now sit on s1; killing it displaces them
+        # again, but their recorded home stays s0.
+        policy.server_failed(SIDS[1])
+        policy.server_added(SIDS[0])
+        assert (policy._assign[home] == 0).all()
+
+    def test_churn_guards(self):
+        policy = BoundedLoadConsistentHashing(SIDS, hash_family=HashFamily(seed=0))
+        policy.initial_placement(_catalog(50), None)
+        assert policy.server_failed("nope") == []
+        policy.server_failed(SIDS[0])
+        assert policy.server_failed(SIDS[0]) == []  # already dead
+        assert policy.server_added(SIDS[1]) == []  # already alive
+
+
+class TestJSQdChurn:
+    def test_failed_server_items_repicked_among_live(self):
+        policy = JSQd(SIDS, hash_family=HashFamily(seed=1), d=2)
+        policy.initial_placement(_catalog(200), None)
+        reports = [_report(s, float(i)) for i, s in enumerate(SIDS)]
+        policy.rebalance(SimpleNamespace(reports=reports))
+        assert (policy._assign == 0).any()
+        policy.server_failed(SIDS[0])
+        assert not (policy._assign == 0).any()
+        assert (policy._assign >= 0).all()
+
+    def test_stranded_pairs_fall_back_to_global_best(self):
+        policy = JSQd(SIDS, hash_family=HashFamily(seed=1), d=2)
+        policy.initial_placement(_catalog(400), None)
+        reports = [_report(s, 1.0) for s in SIDS]
+        policy.rebalance(SimpleNamespace(reports=reports))
+        # Kill every server but the last two; any file set whose whole
+        # candidate pair died must route to a live server regardless.
+        for sid in SIDS[:-2]:
+            policy.server_failed(sid)
+        assert set(np.unique(policy._assign)) <= {len(SIDS) - 2, len(SIDS) - 1}
+
+    def test_recovery_unmasks_for_future_picks(self):
+        policy = JSQd(SIDS, hash_family=HashFamily(seed=1), d=2)
+        policy.initial_placement(_catalog(200), None)
+        policy.rebalance(SimpleNamespace(reports=[_report(s, 1.0) for s in SIDS]))
+        policy.server_failed(SIDS[0])
+        policy.server_added(SIDS[0])
+        # An idle recovered server wins its candidate pairs again.
+        reports = [_report(SIDS[0], 0.0)] + [_report(s, 9.0) for s in SIDS[1:]]
+        policy.rebalance(SimpleNamespace(reports=reports))
+        assert (policy._assign == 0).any()

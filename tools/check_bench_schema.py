@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Schema guard for ``BENCH_scale.json``.
+"""Schema guard for the committed ``BENCH_*.json`` artifacts.
 
 Run from the repository root (CI does)::
 
-    python tools/check_bench_schema.py [path]
+    python tools/check_bench_schema.py            # every committed bench
+    python tools/check_bench_schema.py BENCH_scale.json [more...]
 
-Validates the committed scaling-benchmark artifact against the schema
-the code writes today: top-level keys, ``schema_version``, and the
-per-row key set and value types. The point is drift detection — if
-``repro.experiments.scale`` changes its payload shape, this gate fails
-until both the artifact and (deliberately) this checker are updated.
+Validates each benchmark artifact against the schema the code writes
+today: top-level keys, ``schema_version`` where the bench carries one,
+and the per-row key set and value types — one schema table per bench
+(``scale``, ``chaos_scale``, ``robustness``, ``perf``). The point is
+drift detection — if an experiment module changes its payload shape,
+this gate fails until both the artifact and (deliberately) this checker
+are updated.
+
+The two chaos benches also get semantic gates: ``invariant_violations``
+and ``requests_lost`` must be zero in every row — a committed bench
+that recorded a violation is a red build, not a data point.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -21,61 +28,205 @@ import math
 import sys
 from pathlib import Path
 
+NoneType = type(None)
+
 #: Must match ``repro.experiments.scale.SCHEMA_VERSION``.
-EXPECTED_SCHEMA_VERSION = 1
+SCALE_SCHEMA_VERSION = 1
+#: Must match ``repro.experiments.chaos_scale.SCHEMA_VERSION``.
+CHAOS_SCALE_SCHEMA_VERSION = 1
 
-TOP_LEVEL_KEYS = {
-    "bench": str,
-    "schema_version": int,
+_NUM = (int, float)
+
+#: RobustnessReport.to_dict() rows, shared by both chaos benches.
+_ROBUSTNESS_ROW = {
     "seed": int,
-    "cpu_count": int,
-    "policies": list,
-    "rows": list,
+    "fault_rate": _NUM + (NoneType,),
+    "faults_injected": int,
+    "faults_skipped": int,
+    "server_downtime_s": _NUM,
+    "unavailability": _NUM,
+    "detection_latencies_s": list,
+    "detection_latency_bound_s": _NUM,
+    "detection_within_bound": bool,
+    "requests_injected": int,
+    "requests_completed": int,
+    "requests_failed": int,
+    "requests_in_flight": int,
+    "requests_in_flight_queued": int,
+    "requests_in_flight_backoff": int,
+    "requests_in_flight_dispatch": int,
+    "requests_lost": int,
+    "retries_per_request": _NUM,
+    "redirects": int,
+    "timeouts": int,
+    "invariant_checks": int,
+    "invariant_violations": int,
+    "consistency_recovery_s": _NUM + (NoneType,),
+    "mean_latency_s": _NUM,
+    "fingerprint": str,
 }
 
-ROW_KEYS = {
-    "policy": str,
-    "n_servers": int,
-    "n_filesets": int,
-    "n_requests": int,
-    "completed": int,
-    "duration_s": (int, float),
-    "tuning_interval_s": (int, float),
-    "setup_seconds": (int, float),
-    "drive_seconds": (int, float),
-    "drive_seconds_all": list,
-    "events": int,
-    "events_per_sec": (int, float),
-    "mean_latency": (int, float),
-    "p99_latency": (int, float),
-    "latency_cov": (int, float),
-    "jain_index": (int, float),
-    "total_sheds": int,
+BENCHES = {
+    "scale": {
+        "default_path": "BENCH_scale.json",
+        "schema_version": SCALE_SCHEMA_VERSION,
+        "top": {
+            "bench": str,
+            "schema_version": int,
+            "seed": int,
+            "cpu_count": int,
+            "policies": list,
+            "rows": list,
+        },
+        "row": {
+            "policy": str,
+            "n_servers": int,
+            "n_filesets": int,
+            "n_requests": int,
+            "completed": int,
+            "duration_s": _NUM,
+            "tuning_interval_s": _NUM,
+            "setup_seconds": _NUM,
+            "drive_seconds": _NUM,
+            "drive_seconds_all": list,
+            "events": int,
+            "events_per_sec": _NUM,
+            "mean_latency": _NUM,
+            "p99_latency": _NUM,
+            "latency_cov": _NUM,
+            "jain_index": _NUM,
+            "total_sheds": int,
+        },
+        "finite": ("events_per_sec",),
+    },
+    "chaos_scale": {
+        "default_path": "BENCH_chaos_scale.json",
+        "schema_version": CHAOS_SCALE_SCHEMA_VERSION,
+        "top": {
+            "bench": str,
+            "schema_version": int,
+            "seed": int,
+            "cpu_count": int,
+            "policies": list,
+            "detection_latency_bound_s": _NUM,
+            "heartbeat": dict,
+            "rows": list,
+        },
+        "row": {
+            **_ROBUSTNESS_ROW,
+            "policy": str,
+            "n_servers": int,
+            "n_filesets": int,
+            "n_requests": int,
+            "duration_s": _NUM,
+            "tuning_interval_s": _NUM,
+            "setup_seconds": _NUM,
+            "drive_seconds": _NUM,
+            "failure_declarations": int,
+            "recovery_declarations": int,
+            "total_sheds": int,
+        },
+        "zero": ("invariant_violations", "requests_lost"),
+    },
+    "robustness": {
+        "default_path": "BENCH_robustness.json",
+        "schema_version": None,
+        "top": {
+            "bench": str,
+            "seed": int,
+            "scale": _NUM,
+            "detection_latency_bound_s": _NUM,
+            "heartbeat": dict,
+            "retry": dict,
+            "rows": list,
+        },
+        "row": _ROBUSTNESS_ROW,
+        "zero": ("invariant_violations", "requests_lost"),
+    },
+    "perf": {
+        "default_path": "BENCH_perf.json",
+        "schema_version": None,
+        "top": {
+            "version": str,
+            "cpu_count": int,
+            "note": str,
+            "baseline": dict,
+            "kernel_events_per_sec": _NUM,
+            "locates_per_sec": _NUM,
+            "comparison": dict,
+            "kernel_speedup_vs_baseline": _NUM,
+            "locate_speedup_vs_baseline": _NUM,
+        },
+        "row": None,
+        "finite": ("kernel_events_per_sec", "locates_per_sec"),
+    },
 }
 
 
-def check_payload(payload: object) -> list[str]:
+def identify_bench(payload: object) -> str | None:
+    """Which schema table a parsed payload claims to follow."""
+    if not isinstance(payload, dict):
+        return None
+    bench = payload.get("bench")
+    if isinstance(bench, str) and bench in BENCHES:
+        return bench
+    if "kernel_events_per_sec" in payload and "bench" not in payload:
+        return "perf"
+    return None
+
+
+def _typename(typ) -> str:
+    if isinstance(typ, tuple):
+        return "/".join(t.__name__ for t in typ)
+    return typ.__name__
+
+
+def _check_mapping(obj: dict, schema: dict, where: str, problems: list) -> None:
+    """Key-set and value-type check of one object against one table."""
+    for key, typ in schema.items():
+        if key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+            continue
+        value = obj[key]
+        bool_expected = typ is bool or (isinstance(typ, tuple) and bool in typ)
+        if not isinstance(value, typ) or (isinstance(value, bool) and not bool_expected):
+            problems.append(
+                f"{where}: {key!r} must be {_typename(typ)}, "
+                f"got {type(value).__name__}"
+            )
+    extra = set(obj) - set(schema)
+    if extra:
+        problems.append(f"{where}: unexpected keys: {sorted(extra)}")
+
+
+def check_payload(payload: object, bench: str | None = None) -> list[str]:
     """All schema violations in a parsed payload (empty = clean)."""
-    problems: list[str] = []
     if not isinstance(payload, dict):
         return [f"payload must be a JSON object, got {type(payload).__name__}"]
-    for key, typ in TOP_LEVEL_KEYS.items():
-        if key not in payload:
-            problems.append(f"missing top-level key {key!r}")
-        elif not isinstance(payload[key], typ):
-            problems.append(
-                f"top-level {key!r} must be {typ}, got {type(payload[key]).__name__}"
-            )
-    extra = set(payload) - set(TOP_LEVEL_KEYS)
-    if extra:
-        problems.append(f"unexpected top-level keys: {sorted(extra)}")
-    if payload.get("bench") != "scale":
-        problems.append(f"bench must be 'scale', got {payload.get('bench')!r}")
-    if payload.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+    bench = bench or identify_bench(payload)
+    if bench is None:
+        return [
+            f"unrecognized bench payload (bench={payload.get('bench')!r}); "
+            f"know {sorted(BENCHES)}"
+        ]
+    spec = BENCHES[bench]
+    problems: list[str] = []
+    _check_mapping(payload, spec["top"], "top-level", problems)
+    if "bench" in spec["top"] and payload.get("bench") != bench:
+        problems.append(f"bench must be {bench!r}, got {payload.get('bench')!r}")
+    if spec["schema_version"] is not None and (
+        payload.get("schema_version") != spec["schema_version"]
+    ):
         problems.append(
-            f"schema_version must be {EXPECTED_SCHEMA_VERSION}, "
+            f"schema_version must be {spec['schema_version']}, "
             f"got {payload.get('schema_version')!r}"
         )
+    for key in spec.get("finite", ()):
+        value = payload.get(key)
+        if isinstance(value, _NUM) and not math.isfinite(value):
+            problems.append(f"top-level {key!r} must be finite, got {value}")
+    if spec["row"] is None:
+        return problems
     rows = payload.get("rows")
     if not isinstance(rows, list) or not rows:
         problems.append("rows must be a non-empty list")
@@ -86,44 +237,57 @@ def check_payload(payload: object) -> list[str]:
         if not isinstance(row, dict):
             problems.append(f"{where}: must be an object")
             continue
-        for key, typ in ROW_KEYS.items():
-            if key not in row:
-                problems.append(f"{where}: missing key {key!r}")
-            elif not isinstance(row[key], typ) or isinstance(row[key], bool):
-                problems.append(
-                    f"{where}: {key!r} must be {typ}, got {type(row[key]).__name__}"
-                )
-        extra = set(row) - set(ROW_KEYS)
-        if extra:
-            problems.append(f"{where}: unexpected keys: {sorted(extra)}")
+        _check_mapping(row, spec["row"], where, problems)
         if isinstance(policies, list) and row.get("policy") not in policies:
             problems.append(
                 f"{where}: policy {row.get('policy')!r} not in payload policies"
             )
-        eps = row.get("events_per_sec")
-        if isinstance(eps, (int, float)) and not math.isfinite(eps):
-            problems.append(f"{where}: events_per_sec must be finite, got {eps}")
+        for key in spec.get("finite", ()):
+            value = row.get(key)
+            if isinstance(value, _NUM) and not math.isfinite(value):
+                problems.append(f"{where}: {key!r} must be finite, got {value}")
+        for key in spec.get("zero", ()):
+            if row.get(key) not in (0, None) and key in row:
+                problems.append(
+                    f"{where}: {key!r} must be 0 in a committed bench, "
+                    f"got {row.get(key)!r}"
+                )
     return problems
 
 
-def main(argv: list[str]) -> int:
-    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_scale.json")
+def check_file(path: Path) -> list[str]:
+    """Load and validate one artifact; returns its violation lines."""
     if not path.exists():
-        print(f"{path}: not found", file=sys.stderr)
-        return 1
+        return ["not found"]
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
-        print(f"{path}: invalid JSON: {exc}", file=sys.stderr)
+        return [f"invalid JSON: {exc}"]
+    return check_payload(payload)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        paths = [Path(arg) for arg in argv[1:]]
+    else:
+        paths = [Path(spec["default_path"]) for spec in BENCHES.values()]
+    failed = 0
+    for path in paths:
+        problems = check_file(path)
+        if problems:
+            failed += len(problems)
+            for line in problems:
+                print(f"{path}: {line}", file=sys.stderr)
+            continue
+        payload = json.loads(path.read_text())
+        bench = identify_bench(payload)
+        rows = payload.get("rows")
+        detail = f"{len(rows)} rows" if isinstance(rows, list) else "no rows"
+        version = payload.get("schema_version", payload.get("version", "-"))
+        print(f"bench schema OK: {path} [{bench}] ({detail}, schema {version})")
+    if failed:
+        print(f"\n{failed} schema violation(s)", file=sys.stderr)
         return 1
-    problems = check_payload(payload)
-    if problems:
-        for line in problems:
-            print(f"{path}: {line}", file=sys.stderr)
-        print(f"\n{len(problems)} schema violation(s)", file=sys.stderr)
-        return 1
-    rows = payload["rows"]
-    print(f"bench schema OK: {path} ({len(rows)} rows, schema v{payload['schema_version']})")
     return 0
 
 
