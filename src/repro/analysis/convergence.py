@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..control import as_controller
 from ..core.interval import HALF
 from ..core.tuning import LatencyReport, TuningPolicy
 
@@ -133,15 +134,18 @@ def iterate_controller(
     offered_rate: float,
     policy: Optional[TuningPolicy] = None,
     rounds: int = 60,
+    controller: Optional[object] = None,
 ) -> ControllerTrace:
-    """Iterate the *actual* TuningPolicy against the queueing model.
+    """Iterate the *actual* tuning rule against the queueing model.
 
     Starts from equal lengths (ANU's cold start) and alternates
-    model-predicted latencies with real ``compute_targets`` calls. No
-    randomness: this is the deterministic skeleton of the simulated
-    dynamics, usable to predict convergence-round counts and equilibria.
+    model-predicted latencies with real ``Controller.observe`` calls
+    (any :class:`repro.control.Controller`; the paper's multiplicative
+    rule by default, or the wrapped form of ``policy``). No randomness:
+    this is the deterministic skeleton of the simulated dynamics,
+    usable to predict convergence-round counts and equilibria.
     """
-    policy = policy or TuningPolicy()
+    ctrl = as_controller(controller if controller is not None else policy)
     k = len(powers)
     lengths: Dict[object, float] = {sid: HALF / k for sid in powers}
     trace = ControllerTrace(lengths=[dict(lengths)], latencies=[])
@@ -169,7 +173,7 @@ def iterate_controller(
                 )
             )
         prev_lat = lat
-        targets = policy.compute_targets(lengths, reports)
+        targets = ctrl.observe(lengths, reports)
         norm = HALF / sum(targets.values())
         lengths = {sid: v * norm for sid, v in targets.items()}
         trace.lengths.append(dict(lengths))

@@ -1,0 +1,100 @@
+"""Brownout-style service-level control of region lengths.
+
+Brownout (Klein et al.; the rubbis exemplars in SNIPPETS.md) regulates
+a saturated *service level* ``θ ∈ [θ_min, 1]`` per replica with a
+pole-placed update over an estimated process gain:
+
+``θ += (1/alpha)·(1 − pole)·(setpoint − latency)``, ``alpha ≈ latency/θ``
+
+which simplifies to the multiplicative saturated form implemented
+here: ``θ *= 1 + (1 − pole)·(setpoint/latency − 1)``. We reuse the
+idea with the mapped-region share as the dimmer: each server's target
+length is proportional to its service level, the setpoint is the
+system-average latency (a relative objective — chasing an absolute
+latency target would fight the offered load), and the measured latency
+is EWMA-smoothed before entering the loop, exactly as the exemplar
+smooths its monitor output.
+
+The level vector and the smoother are replicated delegate state
+(:meth:`~repro.control.base.Controller.fork` copies them), and the
+saturation bounds make the controller robust to measurement spikes: a
+single pathological window can at worst slam a level to ``min_level``,
+never to zero — so every server keeps a probe-sized region and
+re-entry is built in (no separate idle seeding needed for levels).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.interval import HALF
+from ..core.tuning import LatencyReport
+from .base import Controller
+
+__all__ = ["BrownoutController"]
+
+
+class BrownoutController(Controller):
+    """Saturated per-server service levels drive the region shares."""
+
+    name = "brownout"
+    stateless = False
+
+    def __init__(
+        self,
+        pole: float = 0.6,
+        smoothing: float = 0.5,
+        min_level: float = 0.02,
+        floor_length: float = 1e-4,
+    ) -> None:
+        if not 0.0 <= pole < 1.0:
+            raise ConfigurationError(f"pole must be in [0, 1), got {pole}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        if not 0.0 < min_level < 1.0:
+            raise ConfigurationError(
+                f"min_level must be in (0, 1), got {min_level}"
+            )
+        self.pole = float(pole)
+        self.smoothing = float(smoothing)
+        self.min_level = float(min_level)
+        self.floor_length = float(floor_length)
+        self._validate_common()
+        #: Replicated state: per-server service level in [min_level, 1].
+        self._level: Dict[object, float] = {}
+        #: Replicated state: EWMA-smoothed latency per server.
+        self._smooth: Dict[object, float] = {}
+
+    def observe(
+        self,
+        current_lengths: Mapping[object, float],
+        reports: Sequence[LatencyReport],
+    ) -> Dict[object, float]:
+        by_id = self._reports_by_id(current_lengths, reports)
+        setpoint = self.system_average(reports)
+        targets: Dict[object, float] = {}
+        for sid, length in current_lengths.items():
+            report = by_id.get(sid)
+            level = self._level.get(sid, 1.0)
+            if (
+                report is not None
+                and not report.is_idle
+                and not math.isnan(setpoint)
+                and setpoint > 0
+            ):
+                latency = max(report.mean_latency, 1e-12)
+                prev = self._smooth.get(sid, latency)
+                smoothed = self.smoothing * latency + (1.0 - self.smoothing) * prev
+                self._smooth[sid] = smoothed
+                # θ *= 1 + (1-pole)·(setpoint/ŷ − 1), saturated.
+                level *= 1.0 + (1.0 - self.pole) * (setpoint / smoothed - 1.0)
+                level = min(max(level, self.min_level), 1.0)
+                self._level[sid] = level
+            # Idle (or report-less) servers hold their level: the
+            # saturation floor already guarantees a probe-sized share.
+            targets[sid] = level * HALF
+        return targets

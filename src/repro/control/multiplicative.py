@@ -1,0 +1,53 @@
+"""The paper's multiplicative averaging rule as a :class:`Controller`.
+
+This is the reference controller: it *is* the
+:class:`~repro.core.tuning.TuningPolicy` decision procedure, lifted
+behind the protocol by composition rather than reimplementation —
+``observe`` delegates to ``compute_targets`` verbatim, so the
+refactored path is bit-for-bit the pre-refactor path (pinned by the
+golden-fingerprint tests in ``tests/engine/test_equivalence.py`` and
+the direct equivalence battery in ``tests/control/test_golden.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..core.tuning import LatencyReport, TuningPolicy
+from .base import Controller
+
+__all__ = ["MultiplicativeController"]
+
+
+class MultiplicativeController(Controller):
+    """Scale regions by ``(avg / latency) ** gain`` around the average.
+
+    All knobs live on the wrapped :class:`TuningPolicy` (the public
+    configuration surface predating this package); the controller adds
+    nothing but the protocol.
+    """
+
+    name = "multiplicative"
+    stateless = True
+
+    def __init__(self, policy: Optional[TuningPolicy] = None) -> None:
+        #: The wrapped policy — the single source of every knob.
+        self.policy = policy if policy is not None else TuningPolicy()
+
+    @property
+    def floor_length(self) -> float:  # type: ignore[override]
+        return self.policy.floor_length
+
+    @property
+    def averaging(self) -> str:  # type: ignore[override]
+        return self.policy.averaging
+
+    def observe(
+        self,
+        current_lengths: Mapping[object, float],
+        reports: Sequence[LatencyReport],
+    ) -> Dict[object, float]:
+        return self.policy.compute_targets(current_lengths, reports)
+
+    def system_average(self, reports: Sequence[LatencyReport]) -> float:
+        return self.policy.system_average(reports)

@@ -8,7 +8,9 @@
   server's mapped region under the half-occupancy invariant,
 * the :class:`~repro.core.layout.LayoutEngine` that re-shapes regions
   with minimal movement, and
-* the :class:`~repro.core.tuning.TuningPolicy` feedback controller.
+* the pluggable tuning rule — any :class:`repro.control.Controller`;
+  the paper's multiplicative :class:`~repro.core.tuning.TuningPolicy`
+  by default.
 
 It maintains the authoritative file-set → server assignment, and every
 reconfiguration (tuning round, failure, recovery, commissioning,
@@ -92,10 +94,15 @@ class ANUManager:
         All nodes must use the same family — it *is* the addressing
         scheme.
     policy:
-        Feedback-controller configuration.
+        Tuning-rule configuration: a :class:`TuningPolicy` (historical
+        spelling) or any :class:`repro.control.Controller`.
     n_partitions:
         Override the initial partition count (testing only); defaults to
         the paper's ``2^(ceil(lg k) + 1)``.
+    controller:
+        Explicit :class:`repro.control.Controller`; takes precedence
+        over ``policy``. Defaults to
+        :func:`repro.control.default_controller`.
 
     Example
     -------
@@ -110,13 +117,27 @@ class ANUManager:
         self,
         server_ids: Sequence[object],
         hash_family: Optional[HashFamily] = None,
-        policy: Optional[TuningPolicy] = None,
+        policy: Optional[object] = None,
         n_partitions: Optional[int] = None,
         detector: Optional[IncompetenceDetector] = None,
+        controller: Optional[object] = None,
     ) -> None:
+        # Lazy import: repro.core and repro.control sit side by side,
+        # and a module-level import here would cycle their package
+        # initialization (importing repro.control first triggers
+        # repro.core.__init__, which imports this module).
+        from ..control import as_controller
+
         self.hash_family = hash_family or HashFamily()
-        self.policy = policy or TuningPolicy()
-        self.engine = LayoutEngine(floor_length=self.policy.floor_length)
+        self.controller = as_controller(
+            controller if controller is not None else policy
+        )
+        #: Back-compat view: the wrapped TuningPolicy when the rule is
+        #: the multiplicative one, else ``None``.
+        self.policy: Optional[TuningPolicy] = getattr(
+            self.controller, "policy", None
+        )
+        self.engine = LayoutEngine(floor_length=self.controller.floor_length)
         self.layout = IntervalLayout.initial(list(server_ids), n_partitions)
         self.detector = detector or IncompetenceDetector()
         self._assignments: Dict[str, object] = {}
@@ -226,6 +247,20 @@ class ANUManager:
     # ------------------------------------------------------------------ #
     # reconfiguration
     # ------------------------------------------------------------------ #
+    def use_controller(self, controller: object) -> None:
+        """Swap the tuning rule in before the control loop starts.
+
+        Used by :class:`~repro.engine.builder.ExperimentSpec` to inject
+        the experiment's controller; swapping mid-run would discard a
+        stateful controller's replicated state, so do this at assembly
+        time only.
+        """
+        from ..control import as_controller
+
+        self.controller = as_controller(controller)
+        self.policy = getattr(self.controller, "policy", None)
+        self.engine = LayoutEngine(floor_length=self.controller.floor_length)
+
     def tune(self, reports: Sequence[LatencyReport]) -> Reconfiguration:
         """Run one delegate tuning round.
 
@@ -233,10 +268,12 @@ class ANUManager:
         file sets whose lookups changed, and returns the full record.
         """
         before = self.layout.lengths()
-        targets = self.policy.compute_targets(before, reports)
+        targets = self.controller.observe(before, reports)
         self.engine.apply_targets(self.layout, targets)
         return self._finish(
-            kind="tune", average=self.policy.system_average(reports), before=before
+            kind="tune",
+            average=self.controller.system_average(reports),
+            before=before,
         )
 
     def add_server(self, server_id: object, initial_length: Optional[float] = None) -> Reconfiguration:

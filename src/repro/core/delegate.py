@@ -13,6 +13,13 @@ lengths. Statelessness is load-bearing for fault tolerance — the test
 suite asserts that two delegate instances given identical inputs emit
 identical decisions, which is what makes delegate fail-over free.
 
+The decision *rule* is pluggable: any :class:`repro.control.Controller`
+(the paper's multiplicative rule by default). A controller with
+internal state (PI integrator, EWMA filter) treats that state as
+replicated alongside the layout — a newly elected delegate receives it
+via ``Controller.fork()`` and reaches the identical decision, so the
+fail-over guarantee survives the generalization.
+
 The message-passing and election machinery that *hosts* a delegate
 lives in :mod:`repro.distributed`; this module is deliberately free of
 any simulator dependency.
@@ -46,13 +53,34 @@ class Decision:
 class Delegate:
     """Stateless tuning decision procedure.
 
-    Any server can instantiate one with the (agreed, replicated) policy
-    and produce the round's decision from the reports alone.
+    Any server can instantiate one with the (agreed, replicated)
+    controller and produce the round's decision from the reports alone.
+    ``policy`` accepts the historical :class:`TuningPolicy` spelling; a
+    :class:`repro.control.Controller` may be passed positionally there
+    or via ``controller=``. The default is
+    :func:`repro.control.default_controller`.
     """
 
-    def __init__(self, policy: Optional[TuningPolicy] = None) -> None:
-        self.policy = policy or TuningPolicy()
-        self._engine = LayoutEngine(floor_length=self.policy.floor_length)
+    def __init__(
+        self,
+        policy: Optional[object] = None,
+        controller: Optional[object] = None,
+    ) -> None:
+        # Lazy import: repro.core and repro.control sit side by side,
+        # and a module-level import here would cycle their package
+        # initialization (importing repro.control first triggers
+        # repro.core.__init__, which imports this module).
+        from ..control import as_controller
+
+        self.controller = as_controller(
+            controller if controller is not None else policy
+        )
+        #: Back-compat view: the wrapped TuningPolicy when the rule is
+        #: the multiplicative one, else ``None``.
+        self.policy: Optional[TuningPolicy] = getattr(
+            self.controller, "policy", None
+        )
+        self._engine = LayoutEngine(floor_length=self.controller.floor_length)
 
     def decide(
         self,
@@ -61,13 +89,14 @@ class Delegate:
     ) -> Decision:
         """Compute the new normalized target lengths for this round.
 
-        Deterministic in its inputs: no internal state is read or
-        written, so a freshly elected delegate reaches the identical
+        Deterministic in its inputs and the controller's replicated
+        state, so a freshly elected delegate (holding a
+        ``Controller.fork()`` of that state) reaches the identical
         decision from the same reports.
         """
-        raw = self.policy.compute_targets(current_lengths, reports)
+        raw = self.controller.observe(current_lengths, reports)
         targets = self._engine.floor_and_normalize(raw)
         return Decision(
-            average_latency=self.policy.system_average(reports),
+            average_latency=self.controller.system_average(reports),
             targets=targets,
         )

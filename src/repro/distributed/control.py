@@ -15,6 +15,14 @@ Every node holds a replica of the mapping; only the elected delegate
 acts on reports. When the delegate dies, heartbeats notice, a new
 election runs, and the next round proceeds from the replicated mapping
 and fresh reports alone.
+
+The tuning rule itself — which :class:`repro.control.Controller` the
+cluster runs, plus any controller state (PI integrators, EWMA filters)
+— is part of that replicated state: the manager holds the agreed copy,
+and each round's out-of-band divergence check instantiates the fresh
+delegate from ``Controller.fork()``, exactly what a newly elected
+delegate would reconstruct. Fail-over therefore stays free for every
+controller in the family, not just the stateless multiplicative rule.
 """
 
 from __future__ import annotations
@@ -98,9 +106,11 @@ class DistributedTuningService:
                     payload=report,
                 )
             )
-        # A *fresh* delegate instance every round: nothing carries over,
-        # so fail-over cannot change decisions (asserted by tests).
-        decision = Delegate(self.manager.policy).decide(
+        # A *fresh* delegate instance every round, reconstructed from
+        # the replicated controller state via fork(): nothing local
+        # carries over, so fail-over cannot change decisions (asserted
+        # by tests, for stateful controllers too).
+        decision = Delegate(controller=self.manager.controller.fork()).decide(
             self.manager.lengths(), reports
         )
         rec = self.manager.tune(reports)

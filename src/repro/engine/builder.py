@@ -43,6 +43,7 @@ from .probes import Observer, ProbeBus, ProbeEvent
 from .record import ChaosConfig, ClusterConfig, derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..control import Controller
     from ..faults.schedule import FaultSchedule
     from ..workloads.synthetic import Workload
 
@@ -66,9 +67,24 @@ class ExperimentSpec:
     faults: Optional[FaultLayer] = None
     observers: Tuple[Observer, ...] = ()
     bus: Optional[ProbeBus] = None
+    #: Tuning rule injected into the policy at assembly (a
+    #: :class:`repro.control.Controller`; the policy must expose
+    #: ``use_controller`` — the ANU adapters do). ``None`` keeps the
+    #: policy's own rule.
+    controller: Optional["Controller"] = None
 
     def build(self) -> ClusterEngine:
         """Assemble the engine this spec describes."""
+        if self.controller is not None:
+            use = getattr(self.policy, "use_controller", None)
+            if use is None:
+                raise ValueError(
+                    f"policy {getattr(self.policy, 'name', self.policy)!r} "
+                    "does not take a pluggable controller"
+                )
+            # fork(): each build gets an isolated controller state, so
+            # building the same spec twice yields independent engines.
+            use(self.controller.fork())
         return ClusterEngine(
             self.workload,
             self.policy,
@@ -98,6 +114,7 @@ class SimulationBuilder:
         self._workload = workload
         self._policy = policy
         self._config = config
+        self._controller: Optional["Controller"] = None
         self._control: Optional[ControlPlane] = None
         self._client_path: Optional[ClientPath] = None
         self._faults: Optional[FaultLayer] = None
@@ -134,6 +151,10 @@ class SimulationBuilder:
     def control(self, control: ControlPlane) -> "SimulationBuilder":
         """Use an explicit control-plane layer."""
         return self._set_once("_control", control)
+
+    def controller(self, controller: "Controller") -> "SimulationBuilder":
+        """Inject a tuning rule (:class:`repro.control.Controller`)."""
+        return self._set_once("_controller", controller)
 
     def client_path(self, client_path: ClientPath) -> "SimulationBuilder":
         """Use an explicit client-path layer."""
@@ -240,6 +261,7 @@ class SimulationBuilder:
             faults=self._faults,
             observers=tuple(self._observers),
             bus=self._bus,
+            controller=self._controller,
         )
 
     def build(self) -> ClusterEngine:

@@ -18,6 +18,14 @@ The engine owns the tuning cadence (one call to :meth:`tuning_round`
 per interval) and applies whatever moves the plane returns; the plane
 owns everything between "the interval elapsed" and "here are the
 moves".
+
+Neither plane knows *which* tuning rule runs: the decision procedure
+is the policy's :class:`repro.control.Controller` (injected via
+``ExperimentSpec.controller`` or the policy constructor), so direct
+and distributed control stay decision-identical for every controller
+in the family, including stateful ones (the distributed service forks
+the replicated controller state per round; see
+:mod:`repro.distributed.control`).
 """
 
 from __future__ import annotations

@@ -11,6 +11,8 @@ Examples::
     python -m repro.experiments scale --out BENCH_scale.json
     python -m repro.experiments chaos-scale --smoke
     python -m repro.experiments chaos-scale --out BENCH_chaos_scale.json
+    python -m repro.experiments control --smoke
+    python -m repro.experiments control --out BENCH_control.json
 """
 
 from __future__ import annotations
@@ -186,6 +188,64 @@ def chaos_scale_main(argv=None) -> int:
     return 0
 
 
+def control_main(argv=None) -> int:
+    """The ``control`` subcommand: controller ablation → BENCH_control.json."""
+    from .control import (
+        CONTROL_CONTROLLERS,
+        CONTROL_SCENARIOS,
+        DEFAULT_POINTS,
+        SMOKE_POINTS,
+        render_control,
+        run_control_sweep,
+        write_control_bench,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments control",
+        description="Controller ablation: multiplicative / PI / pole-placement "
+        "/ brownout / forecast under hotspot, churn, and flash-crowd stress, "
+        "at paper scale and 1000-server vector scale.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--controllers",
+        nargs="+",
+        default=list(CONTROL_CONTROLLERS),
+        help=f"controllers to sweep (default: {' '.join(CONTROL_CONTROLLERS)})",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=list(CONTROL_SCENARIOS),
+        help=f"scenarios to sweep (default: {' '.join(CONTROL_SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_control.json",
+        help="output path for the bench JSON",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-sized subset (CI): tiny points, same code path",
+    )
+    args = parser.parse_args(argv)
+
+    points = SMOKE_POINTS if args.smoke else DEFAULT_POINTS
+    t0 = time.time()
+    payload = run_control_sweep(
+        points=points,
+        controllers=args.controllers,
+        scenarios=args.scenarios,
+        seed=args.seed,
+    )
+    write_control_bench(payload, args.out)
+    print(render_control(payload))
+    print(f"\nwrote {args.out}", file=sys.stderr)
+    print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -195,6 +255,8 @@ def main(argv=None) -> int:
         return scale_main(argv[1:])
     if argv and argv[0] == "chaos-scale":
         return chaos_scale_main(argv[1:])
+    if argv and argv[0] == "control":
+        return control_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the figures of Wu & Burns, HPDC 2004.",

@@ -33,12 +33,15 @@ def make_policy(
     config: ExperimentConfig,
     n_virtual: Optional[int] = None,
     tuning_policy: Optional[TuningPolicy] = None,
+    controller: Optional[object] = None,
 ) -> LoadManager:
     """Instantiate one of the paper's systems by name.
 
     ``system`` ∈ {"simple", "anu", "prescient", "virtual", "table"}.
     ``n_virtual`` overrides the VP count (Figure 8 sweep); the default
-    is the paper's ``v = 5`` → ``5 N`` VPs.
+    is the paper's ``v = 5`` → ``5 N`` VPs. ``controller`` plugs a
+    :class:`repro.control.Controller` into the ANU system (takes
+    precedence over ``tuning_policy``).
     """
     server_ids = list(config.powers)
     # The hash family is fixed infrastructure (every node derives the
@@ -50,7 +53,10 @@ def make_policy(
         return SimpleRandomization(server_ids, hash_family=family)
     if system == "anu":
         return ANURandomization(
-            server_ids, hash_family=family, policy=tuning_policy
+            server_ids,
+            hash_family=family,
+            policy=tuning_policy,
+            controller=controller,
         )
     if system == "prescient":
         return DynamicPrescient(server_ids, tuning_interval=config.tuning_interval)
@@ -75,9 +81,16 @@ def run_system(
     config: ExperimentConfig,
     n_virtual: Optional[int] = None,
     tuning_policy: Optional[TuningPolicy] = None,
+    controller: Optional[object] = None,
 ) -> ClusterResult:
     """Run one system against one workload; returns the full result."""
-    policy = make_policy(system, config, n_virtual=n_virtual, tuning_policy=tuning_policy)
+    policy = make_policy(
+        system,
+        config,
+        n_virtual=n_virtual,
+        tuning_policy=tuning_policy,
+        controller=controller,
+    )
     sim = SimulationBuilder(workload, policy, config.cluster_config()).build()
     return sim.run()
 

@@ -30,9 +30,13 @@ class ANURandomization(LoadManager):
         server_ids: List[object],
         hash_family: Optional[HashFamily] = None,
         policy: Optional[TuningPolicy] = None,
+        controller: Optional[object] = None,
     ) -> None:
         self.manager = ANUManager(
-            server_ids=server_ids, hash_family=hash_family, policy=policy
+            server_ids=server_ids,
+            hash_family=hash_family,
+            policy=policy,
+            controller=controller,
         )
         #: Servers flagged incompetent so far (paper §5.2.2: "ANU
         #: randomization identifies such incompetent components and
@@ -54,6 +58,15 @@ class ANURandomization(LoadManager):
         rec = self.manager.tune(list(ctx.reports))
         self.incompetent.extend(rec.newly_incompetent)
         return [Move(s.fileset, s.source, s.target) for s in rec.sheds]
+
+    def use_controller(self, controller: object) -> None:
+        """Swap the tuning rule in at assembly time (see ANUManager)."""
+        self.manager.use_controller(controller)
+
+    @property
+    def controller(self) -> object:
+        """The active tuning rule (a :class:`repro.control.Controller`)."""
+        return self.manager.controller
 
     def shared_state_entries(self) -> int:
         """O(k) region descriptors — "the unit interval is the only

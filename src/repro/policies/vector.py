@@ -2,8 +2,9 @@
 
 :class:`VectorANU` runs the same control loop as
 :class:`~repro.policies.anu.ANURandomization` — the identical
-:class:`~repro.core.tuning.TuningPolicy` feedback controller over the
-identical :class:`~repro.core.interval.IntervalLayout` geometry — but
+:class:`repro.control.Controller` tuning rule over the identical
+:class:`~repro.core.interval.IntervalLayout` geometry (the scalar/
+vector parity tests pin this per controller) — but
 keeps the file-set → server assignment as one integer array instead of
 a dict, and re-resolves the whole catalog per reconfiguration with the
 batched kernels of :mod:`repro.core.vector`. At a million file sets a
@@ -27,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..cluster.fileset import FileSetCatalog
+from ..control import as_controller
 from ..core.hashing import HashFamily
 from ..core.interval import IntervalLayout
 from ..core.layout import LayoutEngine
@@ -46,14 +48,22 @@ class VectorANU(LoadManager):
         self,
         server_ids: List[object],
         hash_family: Optional[HashFamily] = None,
-        policy: Optional[TuningPolicy] = None,
+        policy: Optional[object] = None,
         n_partitions: Optional[int] = None,
         emit_moves: bool = True,
+        controller: Optional[object] = None,
     ) -> None:
         self.server_ids = list(server_ids)
         self.hash_family = hash_family or HashFamily()
-        self.policy = policy or TuningPolicy()
-        self.engine = LayoutEngine(floor_length=self.policy.floor_length)
+        self.controller = as_controller(
+            controller if controller is not None else policy
+        )
+        #: Back-compat view: the wrapped TuningPolicy when the rule is
+        #: the multiplicative one, else ``None``.
+        self.policy: Optional[TuningPolicy] = getattr(
+            self.controller, "policy", None
+        )
+        self.engine = LayoutEngine(floor_length=self.controller.floor_length)
         self.layout = IntervalLayout.initial(list(self.server_ids), n_partitions)
         self.emit_moves = bool(emit_moves)
         self._slot: Dict[object, int] = {
@@ -127,9 +137,15 @@ class VectorANU(LoadManager):
         # data plane is up) — the controller only understands layout
         # members, so filter rather than raise mid-run.
         reports = [r for r in ctx.reports if r.server_id in members]
-        targets = self.policy.compute_targets(before, reports)
+        targets = self.controller.observe(before, reports)
         self.engine.apply_targets(self.layout, targets)
         return self._reshuffle()
+
+    def use_controller(self, controller: object) -> None:
+        """Swap the tuning rule in at assembly time (see ANUManager)."""
+        self.controller = as_controller(controller)
+        self.policy = getattr(self.controller, "policy", None)
+        self.engine = LayoutEngine(floor_length=self.controller.floor_length)
 
     def _reshuffle(self) -> List[Move]:
         """Re-resolve the catalog against the current layout."""

@@ -1,0 +1,52 @@
+"""Shared report builders for the controller-family tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import LatencyReport
+
+
+def make_report(
+    sid,
+    latency,
+    request_count=50,
+    idle_rounds=0,
+    prev=None,
+):
+    """One interval report; ``latency=None`` means an idle server."""
+    idle = latency is None
+    return LatencyReport(
+        sid,
+        math.nan if idle else float(latency),
+        request_count=0 if idle else request_count,
+        idle_rounds=idle_rounds if not idle else max(idle_rounds, 1),
+        prev_mean_latency=(
+            math.nan if idle else float(latency if prev is None else prev)
+        ),
+    )
+
+
+def report_battery(server_ids, seed=0, rounds=12):
+    """A deterministic multi-round report sequence (persistent latencies).
+
+    ``prev_mean_latency`` repeats the latency so persistence-gated rules
+    (the multiplicative policy requires two consecutive slow intervals
+    before shrinking) engage immediately.
+    """
+    import random
+
+    rng = random.Random(seed)
+    battery = []
+    for _ in range(rounds):
+        battery.append(
+            [make_report(sid, rng.uniform(0.2, 5.0)) for sid in server_ids]
+        )
+    return battery
+
+
+@pytest.fixture
+def server_ids():
+    return [0, 1, 2, 3, 4]

@@ -1,0 +1,83 @@
+"""The refactor's bit-for-bit pin: MultiplicativeController ≡ TuningPolicy.
+
+The controller extraction moved every consumer off direct
+``TuningPolicy`` calls. These tests hold the wrapped rule to *exact*
+float equality against the policy it wraps, over seeded multi-round
+report batteries — including idle servers, persistence gating, and
+layouts drifting over rounds — so the seam cannot silently change the
+paper's numbers. (The engine-level golden fingerprints in
+``tests/engine/test_equivalence.py`` pin the same fact end to end.)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.control import MultiplicativeController, default_controller
+from repro.core import TuningPolicy
+from repro.core.layout import LayoutEngine
+
+from .conftest import make_report
+
+
+def drifting_battery(server_ids, seed, rounds=40):
+    """Rounds of reports with idle spells and persistent slow servers."""
+    rng = random.Random(seed)
+    battery = []
+    idle_streak = {sid: 0 for sid in server_ids}
+    last = {sid: 1.0 for sid in server_ids}
+    for _ in range(rounds):
+        reports = []
+        for sid in server_ids:
+            if rng.random() < 0.15:
+                idle_streak[sid] += 1
+                reports.append(make_report(sid, None, idle_rounds=idle_streak[sid]))
+                continue
+            idle_streak[sid] = 0
+            prev = last[sid]
+            last[sid] = rng.uniform(0.1, 4.0)
+            reports.append(
+                make_report(
+                    sid,
+                    last[sid],
+                    request_count=rng.randrange(1, 200),
+                    prev=prev,
+                )
+            )
+        battery.append(reports)
+    return battery
+
+
+class TestBitForBit:
+    def test_observe_equals_compute_targets(self):
+        for seed in range(5):
+            policy = TuningPolicy()
+            ctrl = MultiplicativeController(TuningPolicy())
+            engine = LayoutEngine(floor_length=policy.floor_length)
+            server_ids = list(range(5))
+            lengths = {sid: 0.1 for sid in server_ids}
+            for reports in drifting_battery(server_ids, seed):
+                want = policy.compute_targets(lengths, reports)
+                got = ctrl.observe(lengths, reports)
+                assert got == want, f"seed={seed}"
+                assert ctrl.system_average(reports) == policy.system_average(
+                    reports
+                ) or (
+                    ctrl.system_average(reports) != ctrl.system_average(reports)
+                    and policy.system_average(reports)
+                    != policy.system_average(reports)
+                )
+                # Advance the layout the way every consumer does.
+                lengths = engine.floor_and_normalize(want)
+
+    def test_default_controller_uses_default_policy_settings(self):
+        ctrl = default_controller()
+        ref = TuningPolicy()
+        assert ctrl.floor_length == ref.floor_length
+        assert ctrl.averaging == ref.averaging
+        server_ids = list(range(7))
+        lengths = {sid: 0.5 / 7 for sid in server_ids}
+        for reports in drifting_battery(server_ids, seed=99, rounds=10):
+            assert ctrl.observe(lengths, reports) == ref.compute_targets(
+                lengths, reports
+            )

@@ -1,0 +1,126 @@
+"""Property-based contracts of the ``Controller`` protocol (hypothesis).
+
+For every controller in the registry, over generated report batteries:
+
+* the delegate's decided targets are normalized (sum to ``HALF``) and
+  respect ``floor_length``;
+* decisions are deterministic: two forks fed the identical sequence
+  emit bit-identical decisions (the fail-over guarantee);
+* observe() never invents or drops servers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import CONTROLLERS, make_controller
+from repro.core import LatencyReport
+from repro.core.delegate import Delegate
+from repro.core.interval import HALF
+
+CONTROLLER_NAMES = sorted(CONTROLLERS)
+
+latency_strategy = st.one_of(
+    st.none(),  # idle interval
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+)
+
+
+def battery_strategy(n_servers):
+    round_strategy = st.lists(
+        latency_strategy, min_size=n_servers, max_size=n_servers
+    )
+    return st.lists(round_strategy, min_size=1, max_size=8)
+
+
+def to_reports(latencies, idle_streaks):
+    reports = []
+    for sid, lat in enumerate(latencies):
+        if lat is None:
+            idle_streaks[sid] += 1
+            reports.append(
+                LatencyReport(
+                    sid,
+                    math.nan,
+                    request_count=0,
+                    idle_rounds=idle_streaks[sid],
+                )
+            )
+        else:
+            idle_streaks[sid] = 0
+            reports.append(
+                LatencyReport(
+                    sid,
+                    lat,
+                    request_count=25,
+                    idle_rounds=0,
+                    prev_mean_latency=lat,
+                )
+            )
+    return reports
+
+
+@pytest.mark.parametrize("name", CONTROLLER_NAMES)
+@given(battery=battery_strategy(4))
+@settings(max_examples=25, deadline=None)
+def test_decisions_normalized_and_floored(name, battery):
+    delegate = Delegate(controller=make_controller(name))
+    lengths = {sid: HALF / 4 for sid in range(4)}
+    idle = {sid: 0 for sid in range(4)}
+    for latencies in battery:
+        decision = delegate.decide(lengths, to_reports(latencies, idle))
+        total = sum(decision.targets.values())
+        assert total == pytest.approx(HALF, abs=1e-9)
+        assert set(decision.targets) == set(lengths)
+        floor = delegate.controller.floor_length
+        for length in decision.targets.values():
+            # floor_and_normalize floors first, then rescales; the
+            # rescale can shave below the floor but never to zero.
+            assert length > 0.0
+            assert length >= floor * HALF / max(total, HALF) * 0.1
+        lengths = decision.targets
+
+
+@pytest.mark.parametrize("name", CONTROLLER_NAMES)
+@given(battery=battery_strategy(5))
+@settings(max_examples=25, deadline=None)
+def test_forked_delegates_decide_identically(name, battery):
+    """Fail-over freeness: replica state + same reports ⇒ same decision."""
+    primary = make_controller(name)
+    lengths = {sid: HALF / 5 for sid in range(5)}
+    idle = {sid: 0 for sid in range(5)}
+    for latencies in battery:
+        reports = to_reports(latencies, idle)
+        # A fresh delegate per round, from the replicated controller —
+        # exactly what distributed.control does after an election.
+        a = Delegate(controller=primary.fork()).decide(lengths, reports)
+        b = Delegate(controller=primary.fork()).decide(lengths, reports)
+        assert a.targets == b.targets
+        assert a.average_latency == b.average_latency or (
+            math.isnan(a.average_latency) and math.isnan(b.average_latency)
+        )
+        # Advance the authoritative copy like the manager does.
+        lengths = Delegate(controller=primary).decide(lengths, reports).targets
+
+
+@pytest.mark.parametrize("name", CONTROLLER_NAMES)
+@given(
+    latencies=st.lists(
+        st.floats(min_value=0.05, max_value=20.0, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_observe_preserves_server_set(name, latencies):
+    ctrl = make_controller(name)
+    lengths = {sid: HALF / 3 for sid in range(3)}
+    idle = {sid: 0 for sid in range(3)}
+    targets = ctrl.observe(lengths, to_reports(latencies, idle))
+    assert set(targets) == set(lengths)
+    for value in targets.values():
+        assert math.isfinite(value)
+        assert value >= 0.0

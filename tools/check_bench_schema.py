@@ -9,7 +9,8 @@ Run from the repository root (CI does)::
 Validates each benchmark artifact against the schema the code writes
 today: top-level keys, ``schema_version`` where the bench carries one,
 and the per-row key set and value types — one schema table per bench
-(``scale``, ``chaos_scale``, ``robustness``, ``perf``). The point is
+(``scale``, ``chaos_scale``, ``control``, ``robustness``, ``perf``).
+The point is
 drift detection — if an experiment module changes its payload shape,
 this gate fails until both the artifact and (deliberately) this checker
 are updated.
@@ -34,6 +35,8 @@ NoneType = type(None)
 SCALE_SCHEMA_VERSION = 1
 #: Must match ``repro.experiments.chaos_scale.SCHEMA_VERSION``.
 CHAOS_SCALE_SCHEMA_VERSION = 1
+#: Must match ``repro.experiments.control.SCHEMA_VERSION``.
+CONTROL_SCHEMA_VERSION = 1
 
 _NUM = (int, float)
 
@@ -127,6 +130,54 @@ BENCHES = {
             "total_sheds": int,
         },
         "zero": ("invariant_violations", "requests_lost"),
+    },
+    "control": {
+        "default_path": "BENCH_control.json",
+        "schema_version": CONTROL_SCHEMA_VERSION,
+        "top": {
+            "bench": str,
+            "schema_version": int,
+            "seed": int,
+            "cpu_count": int,
+            "baseline_controller": str,
+            "controllers": list,
+            "scenarios": list,
+            "feedback_wins": list,
+            "rows": list,
+        },
+        "row": {
+            "controller": str,
+            "scenario": str,
+            "mode": str,
+            "n_servers": int,
+            "n_filesets": int,
+            "n_requests": int,
+            "completed": int,
+            "duration_s": _NUM,
+            "tuning_interval_s": _NUM,
+            "rounds": int,
+            "convergence_round": (int, NoneType),
+            "convergence_time_s": _NUM + (NoneType,),
+            "oscillation": _NUM,
+            "mean_latency": _NUM,
+            "p99_latency": _NUM,
+            "latency_cov": _NUM,
+            "jain_index": _NUM,
+            "total_sheds": int,
+            "setup_seconds": _NUM,
+            "drive_seconds": _NUM,
+        },
+        "finite": (
+            "oscillation",
+            "mean_latency",
+            "p99_latency",
+            "latency_cov",
+            "jain_index",
+        ),
+        # The acceptance bar for the controller family: at least one
+        # feedback controller must beat the multiplicative baseline on
+        # convergence or oscillation somewhere in the sweep.
+        "nonempty": ("feedback_wins",),
     },
     "robustness": {
         "default_path": "BENCH_robustness.json",
@@ -225,6 +276,9 @@ def check_payload(payload: object, bench: str | None = None) -> list[str]:
         value = payload.get(key)
         if isinstance(value, _NUM) and not math.isfinite(value):
             problems.append(f"top-level {key!r} must be finite, got {value}")
+    for key in spec.get("nonempty", ()):
+        if isinstance(payload.get(key), list) and not payload[key]:
+            problems.append(f"top-level {key!r} must be non-empty")
     if spec["row"] is None:
         return problems
     rows = payload.get("rows")

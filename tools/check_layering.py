@@ -90,6 +90,34 @@ BANS: Tuple[Tuple[str, str, str], ...] = (
         "repro.experiments",
         "placement policies are below the experiment harness",
     ),
+    # The controller family is pure decision logic over latency
+    # reports; it sits beside repro.core and below everything that
+    # drives simulations.
+    (
+        "repro.control",
+        "repro.engine",
+        "controllers are below the engine",
+    ),
+    (
+        "repro.control",
+        "repro.experiments",
+        "controllers are below the experiment harness",
+    ),
+    (
+        "repro.control",
+        "repro.cluster",
+        "controllers see latency reports, not the cluster model",
+    ),
+    (
+        "repro.control",
+        "repro.policies",
+        "policies adapt controllers, never the reverse",
+    ),
+    (
+        "repro.control",
+        "repro.workloads",
+        "controllers must not depend on workload generation",
+    ),
 )
 
 
