@@ -26,7 +26,7 @@ routine (and tested for agreement with it):
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, NamedTuple, Sequence, Tuple
+from typing import Dict, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +34,14 @@ from .errors import ConfigurationError, LookupExhaustedError
 from .hashing import HashFamily
 from .interval import IntervalLayout
 
-__all__ = ["SegmentTable", "ProbeMatrix", "DrainedCohort", "batched_locate", "fifo_drain"]
+__all__ = [
+    "SegmentTable",
+    "ProbeMatrix",
+    "DrainedCohort",
+    "batched_locate",
+    "fifo_drain",
+    "segment_delta",
+]
 
 
 class SegmentTable:
@@ -95,6 +102,51 @@ class SegmentTable:
             len(server_slots),
         )
 
+    @classmethod
+    def patched(
+        cls,
+        base: "SegmentTable",
+        changed: Mapping[int, Sequence[Tuple[float, float]]],
+    ) -> "SegmentTable":
+        """A new table with the given slots' spans replaced — the
+        incremental constructor for epoch-delta relocation.
+
+        ``changed`` maps owner *slot* → its new ``[start, end)`` spans
+        (an empty sequence evicts the slot from the table). Segments of
+        untouched slots are carried over by a vectorized mask + merge
+        insert into the sorted arrays, so building the new epoch's table
+        costs O(changed segments + log) instead of re-flattening every
+        server's region through the :meth:`from_layout` Python loop.
+
+        The result is bit-identical to a :meth:`from_layout` rebuild of
+        the same layout: spans are disjoint with nonzero length, so
+        sorting by ``start`` alone reproduces the tuple-sort order
+        (pinned by a hypothesis test).
+        """
+        if not changed:
+            return base
+        changed_slots = np.fromiter(changed, dtype=np.int64, count=len(changed))
+        keep = ~np.isin(base.owners, changed_slots)
+        kept_starts = base.starts[keep]
+        kept_ends = base.ends[keep]
+        kept_owners = base.owners[keep]
+        add = sorted(
+            (start, end, slot)
+            for slot, spans in changed.items()
+            for start, end in spans
+        )
+        if not add:
+            return cls(kept_starts, kept_ends, kept_owners, base.n_servers)
+        arr = np.asarray(add, dtype=np.float64)
+        add_starts = np.ascontiguousarray(arr[:, 0])
+        pos = np.searchsorted(kept_starts, add_starts, side="left")
+        return cls(
+            np.insert(kept_starts, pos, add_starts),
+            np.insert(kept_ends, pos, np.ascontiguousarray(arr[:, 1])),
+            np.insert(kept_owners, pos, arr[:, 2].astype(np.int64)),
+            base.n_servers,
+        )
+
     def locate(self, offsets: np.ndarray) -> np.ndarray:
         """Owner slot per offset; ``-1`` where the offset is unmapped.
 
@@ -133,12 +185,13 @@ class ProbeMatrix:
     tail of the worst name.
     """
 
-    __slots__ = ("names", "family", "_columns")
+    __slots__ = ("names", "family", "_columns", "_sorted")
 
     def __init__(self, names: Sequence[str], family: HashFamily) -> None:
         self.names = list(names)
         self.family = family
         self._columns: Dict[int, np.ndarray] = {}
+        self._sorted: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def __len__(self) -> int:
         return len(self.names)
@@ -156,9 +209,29 @@ class ProbeMatrix:
             )
         return col
 
+    def sorted_column(self, round_: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(sorted offsets, sorting permutation)`` for one round.
+
+        Columns are pure in ``(seed, name, round)``, so the sort is
+        computed once and stays valid for every epoch. Incremental
+        relocation uses it to find the names whose round-``r`` probe
+        falls inside a changed interval with two ``searchsorted`` calls
+        per delta interval — work proportional to the moved mass, not
+        the catalog.
+        """
+        entry = self._sorted.get(round_)
+        if entry is None:
+            col = self.column(round_)
+            order = np.argsort(col, kind="stable")
+            entry = self._sorted[round_] = (col[order], order)
+        return entry
+
 
 def batched_locate(
-    probes: ProbeMatrix, table: SegmentTable, blocked: np.ndarray = None
+    probes: ProbeMatrix,
+    table: SegmentTable,
+    blocked: Optional[np.ndarray] = None,
+    subset: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Resolve every name in ``probes`` against ``table``.
 
@@ -173,10 +246,22 @@ def batched_locate(
     chaos path ("never route to a dead server"), enforced in the
     kernel regardless of whether the layout was already updated.
 
+    ``subset`` restricts resolution to the given name indices (the
+    epoch-delta relocation path re-resolves only invalidated names);
+    the returned arrays then align with ``subset`` — ``owner[j]`` is
+    the resolution of name ``subset[j]``. Resolution of a name depends
+    only on its own probe sequence, so a subset resolution is
+    bit-identical to the corresponding entries of a full one.
+
     Raises :class:`LookupExhaustedError` if any name exhausts the
     family's probe budget — same failure mode as the scalar lookup.
     """
-    n = len(probes)
+    if subset is None:
+        n = len(probes)
+        idx = None
+    else:
+        idx = np.asarray(subset, dtype=np.int64)
+        n = idx.size
     owner = np.full(n, -1, dtype=np.int64)
     used = np.zeros(n, dtype=np.int64)
     if n == 0:
@@ -186,7 +271,8 @@ def batched_locate(
     unresolved = np.arange(n)
     for round_ in range(probes.family.max_probes):
         col = probes.column(round_)
-        slots = table.locate(col[unresolved])
+        gather = unresolved if idx is None else idx[unresolved]
+        slots = table.locate(col[gather])
         hit = slots >= 0
         if blocked is not None:
             hit &= ~blocked[np.maximum(slots, 0)]
@@ -231,7 +317,7 @@ def fifo_drain(
     server_idx: np.ndarray,
     free_at: np.ndarray,
     *,
-    power: np.ndarray = None,
+    power: Optional[np.ndarray] = None,
 ) -> DrainedCohort:
     """Completion times for a cohort of requests across FIFO servers.
 
@@ -316,3 +402,54 @@ def fifo_drain(
         np.add(p, b, out=b)  # completion P_i + max slack
         free_at[head] = b[-1]
     return DrainedCohort(order, bounds, srv, arr, svc, completion)
+
+
+def segment_delta(
+    old: SegmentTable,
+    new: SegmentTable,
+    old_blocked: Optional[np.ndarray] = None,
+    new_blocked: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Intervals of [0, 1) whose *effective* owner differs between epochs.
+
+    The effective owner of an offset is its segment's owner slot with
+    the epoch's blocked mask applied (a blocked owner counts as
+    unmapped, ``-1``) — exactly what :func:`batched_locate` sees. The
+    returned ``(starts, ends)`` arrays are the merged, sorted, disjoint
+    intervals where old and new disagree; a name resolution can only be
+    invalidated by the epoch change if one of its probe offsets at
+    rounds ``<= used`` lands inside one of them:
+
+    * at the resolving round, a delta hit means the owner changed or
+      the region shrank/was blocked from under the name;
+    * at any earlier round the old effective owner was ``-1`` (that is
+      why probing continued), so a delta hit there means the offset is
+      newly mapped — a *grown* region — and the name may now resolve
+      earlier.
+
+    Computed exactly by sweeping the union of both tables' segment
+    endpoints: within each elementary interval both tables are
+    constant, so locating the left endpoints (vectorized) classifies
+    the whole interval. O(total segments) per reconfiguration — the
+    tables are O(servers), not O(names).
+    """
+    pts = np.unique(
+        np.concatenate(
+            (old.starts, old.ends, new.starts, new.ends, np.array([0.0]))
+        )
+    )
+    lefts = pts[pts < 1.0]
+    rights = np.append(lefts[1:], 1.0)
+    old_eff = old.locate(lefts)
+    new_eff = new.locate(lefts)
+    if old_blocked is not None and old_blocked.any():
+        old_eff = np.where(old_blocked[np.maximum(old_eff, 0)] & (old_eff >= 0), -1, old_eff)
+    if new_blocked is not None and new_blocked.any():
+        new_eff = np.where(new_blocked[np.maximum(new_eff, 0)] & (new_eff >= 0), -1, new_eff)
+    diff = old_eff != new_eff
+    if not diff.any():
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy()
+    run_start = diff & np.r_[True, ~diff[:-1]]
+    run_end = diff & np.r_[~diff[1:], True]
+    return lefts[run_start], rights[run_end]

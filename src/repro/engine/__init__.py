@@ -22,6 +22,7 @@ from .probes import (  # noqa: F401  (isort: keep assembly order)
     ProbeBus,
     ProbeEvent,
     RecoveryDeclared,
+    RelocationApplied,
     RequestCompleted,
     RequestDropped,
     RequestFailed,
@@ -84,6 +85,7 @@ __all__ = [
     "RequestDropped",
     "RequestFailed",
     "MovesApplied",
+    "RelocationApplied",
     "DelegateElected",
     "ServerFailed",
     "ServerRecovered",

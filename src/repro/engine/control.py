@@ -37,12 +37,17 @@ from ..core.tuning import LatencyReport
 from ..distributed.control import DistributedTuningService
 from ..distributed.network import Network
 from ..policies.base import LazyKnowledge, Move, RebalanceContext
-from .probes import DelegateElected
+from .probes import DelegateElected, RelocationApplied
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import ClusterEngine
 
-__all__ = ["ControlPlane", "DirectControlPlane", "DistributedControlPlane"]
+__all__ = [
+    "ControlPlane",
+    "DirectControlPlane",
+    "DistributedControlPlane",
+    "publish_relocation",
+]
 
 
 class ControlPlane:
@@ -88,7 +93,35 @@ class DirectControlPlane(ControlPlane):
             else None,
             observed_fileset_work=observed,
         )
-        return engine.policy.rebalance(ctx)
+        moves = engine.policy.rebalance(ctx)
+        publish_relocation(engine, t0)
+        return moves
+
+
+def publish_relocation(engine: "ClusterEngine", time: float) -> None:
+    """Drain the policy's last relocation record onto the bus.
+
+    Policies with :class:`~repro.policies.base.RelocationStats` record
+    what each reconfiguration re-resolved; publishing from the control
+    plane (and the chaos layers for churn) keeps the policies below the
+    engine in the layering.
+    """
+    consume = getattr(engine.policy, "consume_last_relocation", None)
+    if consume is None:
+        return
+    info = consume()
+    if info is None:
+        return
+    engine.bus.publish(
+        RelocationApplied(
+            time=time,
+            kind=info["kind"],
+            relocated=info["relocated"],
+            catalog_size=info["catalog_size"],
+            seconds=info["seconds"],
+            mode=info["mode"],
+        )
+    )
 
 
 class DistributedControlPlane(ControlPlane):

@@ -18,7 +18,8 @@ Client path
     :class:`RequestCompleted` (opt-in, hot), :class:`RequestDropped`,
     :class:`RequestFailed`
 Control plane
-    :class:`MovesApplied`, :class:`DelegateElected`
+    :class:`MovesApplied`, :class:`RelocationApplied`,
+    :class:`DelegateElected`
 Membership & faults
     :class:`ServerFailed`, :class:`ServerRecovered`,
     :class:`FaultInjected`, :class:`FailureDeclared`,
@@ -44,6 +45,7 @@ __all__ = [
     "RequestDropped",
     "RequestFailed",
     "MovesApplied",
+    "RelocationApplied",
     "DelegateElected",
     "ServerFailed",
     "ServerRecovered",
@@ -114,6 +116,25 @@ class MovesApplied(ProbeEvent):
     kind: str
     moves: int
     moved_work_share: float
+
+
+@dataclass(frozen=True)
+class RelocationApplied(ProbeEvent):
+    """One reconfiguration's resolution work (epoch-delta accounting).
+
+    Complements :class:`MovesApplied`: ``moves`` there counts the
+    names that changed owner, ``relocated`` here counts the names the
+    policy actually *re-resolved* to find out — the quantity the
+    incremental relocation path shrinks. ``mode`` is the policy's
+    relocation strategy (``incremental``/``full``/``native``) and
+    ``seconds`` the wall-clock the reshuffle cost.
+    """
+
+    kind: str
+    relocated: int
+    catalog_size: int
+    seconds: float
+    mode: str
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,7 @@ from .probes import (
     MovesApplied,
     RecoveryDeclared,
 )
+from .control import publish_relocation
 from .record import ChaosConfig, ChaosResult, FailureRecord
 from .fault_layer import FaultLayer
 
@@ -261,6 +262,7 @@ class VectorChaosFaultLayer(FaultLayer):
                 moved_work_share=0.0,
             )
         )
+        publish_relocation(engine, event.time)
 
     def _redrive(self, slot: int, t: float) -> None:
         """Re-locate the orphan pool of ``slot`` through the new layout."""

@@ -117,14 +117,25 @@ def scale_main(argv=None) -> int:
         "--repeats",
         type=int,
         default=1,
-        help="drive each run N times and report the best (timing noise)",
+        help="drive each run N times and report the best (timing noise); "
+        "repeats > 1 forces --workers 1 so drive timing owns its core",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out processes (default: REPRO_PARALLEL_WORKERS or CPU count)",
     )
     args = parser.parse_args(argv)
 
     points = SMOKE_POINTS if args.smoke else DEFAULT_POINTS
     t0 = time.time()
     payload = run_scale_sweep(
-        points=points, policies=args.policies, seed=args.seed, repeats=args.repeats
+        points=points,
+        policies=args.policies,
+        seed=args.seed,
+        repeats=args.repeats,
+        workers=args.workers,
     )
     write_scale_bench(payload, args.out)
     print(render_scale(payload))
@@ -166,12 +177,18 @@ def chaos_scale_main(argv=None) -> int:
         action="store_true",
         help="seconds-sized subset (CI): tiny points, same code path",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out processes (default: REPRO_PARALLEL_WORKERS or CPU count)",
+    )
     args = parser.parse_args(argv)
 
     points = SMOKE_POINTS if args.smoke else DEFAULT_POINTS
     t0 = time.time()
     payload = run_chaos_scale_sweep(
-        points=points, policies=args.policies, seed=args.seed
+        points=points, policies=args.policies, seed=args.seed, workers=args.workers
     )
     write_chaos_scale_bench(payload, args.out)
     print(render_chaos_scale(payload))
@@ -229,6 +246,12 @@ def control_main(argv=None) -> int:
         action="store_true",
         help="seconds-sized subset (CI): tiny points, same code path",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out processes (default: REPRO_PARALLEL_WORKERS or CPU count)",
+    )
     args = parser.parse_args(argv)
 
     points = SMOKE_POINTS if args.smoke else DEFAULT_POINTS
@@ -238,6 +261,7 @@ def control_main(argv=None) -> int:
         controllers=args.controllers,
         scenarios=args.scenarios,
         seed=args.seed,
+        workers=args.workers,
     )
     write_control_bench(payload, args.out)
     print(render_control(payload))

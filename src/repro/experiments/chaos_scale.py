@@ -23,6 +23,14 @@ remainder (``requests_lost`` must be 0) — plus the run's
 :func:`~repro.faults.chaos.chaos_fingerprint`, so the bench is
 bit-reproducible.
 
+Like the ``scale`` sweep, the (point, policy) cells fan out through
+:func:`repro.experiments.fanout.stream_map`: the per-point workload
+*and* fault schedule are generated once in the parent and reach the
+workers by fork (zero copies), results merge in submission order, and
+the payload records the ``workers`` count. One worker (or one CPU)
+runs everything in-process — rows byte-identical to the sequential
+sweep modulo timing fields.
+
 ``python -m repro.experiments chaos-scale`` writes
 ``BENCH_chaos_scale.json``; ``--smoke`` runs a seconds-sized subset for
 CI. The JSON schema is guarded by ``tools/check_bench_schema.py``.
@@ -47,8 +55,15 @@ from ..engine import (
 )
 from ..faults import FaultSchedule, chaos_fingerprint, random_schedule
 from ..metrics.robustness import robustness_report
+from ..policies.vector import relocate_mode_from_env
 from ..workloads.scale import ArrayWorkload, ScaleConfig, generate_scale
-from .scale import SCALE_POLICIES, make_scale_policy, scale_powers
+from .fanout import resolve_workers, shared_payload, stream_map
+from .scale import (
+    SCALE_POLICIES,
+    format_point_label,
+    make_scale_policy,
+    scale_powers,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -63,7 +78,7 @@ __all__ = [
 ]
 
 #: Bumped on any change to the BENCH_chaos_scale.json row/payload shape.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 CHAOS_SCALE_POLICIES: Tuple[str, ...] = SCALE_POLICIES
 
@@ -81,7 +96,7 @@ class ChaosScalePoint:
     tuning_interval: float = 120.0
 
     def label(self) -> str:
-        return f"{self.n_servers}s/{self.n_filesets}fs"
+        return format_point_label(self.n_servers, self.n_filesets)
 
 
 #: Paper scale → two orders of magnitude up → the planet-scale point
@@ -135,33 +150,48 @@ def point_schedule(
     )
 
 
+def _point_workload(point: ChaosScalePoint, seed: int) -> ArrayWorkload:
+    """Generate one point's columnar workload (the shared-setup step)."""
+    powers = scale_powers(point.n_servers)
+    return generate_scale(
+        ScaleConfig(
+            n_filesets=point.n_filesets,
+            target_requests=point.n_requests,
+            duration=point.duration,
+            total_capacity=sum(powers.values()),
+        ),
+        seed=seed,
+    )
+
+
 def run_chaos_scale_point(
     point: ChaosScalePoint,
     policy_name: str,
     seed: int = 1,
     workload: Optional[ArrayWorkload] = None,
     schedule: Optional[FaultSchedule] = None,
+    workload_seconds: Optional[float] = None,
 ) -> Dict[str, object]:
     """One vectorized chaos run; returns a BENCH_chaos_scale row.
 
-    ``drive_seconds`` times the run alone; workload generation, engine
-    assembly, schedule compilation, and initial placement count as
-    ``setup_seconds``. The row is the full robustness report plus the
-    run's chaos fingerprint and the churn ledger.
+    ``drive_seconds`` times the run alone; setup splits into
+    ``workload_seconds`` (workload generation — measured here, or
+    passed by the sweep that generated the shared workload) and
+    ``placement_seconds`` (schedule compilation, engine assembly, and
+    initial placement); ``setup_seconds`` is their sum. The row is the
+    full robustness report plus the run's chaos fingerprint, the churn
+    ledger, and the relocation ledger.
     """
     powers = scale_powers(point.n_servers)
     chaos = ChaosConfig(seed=seed)
-    setup_start = time.perf_counter()
+    workload_start = time.perf_counter()
     if workload is None:
-        workload = generate_scale(
-            ScaleConfig(
-                n_filesets=point.n_filesets,
-                target_requests=point.n_requests,
-                duration=point.duration,
-                total_capacity=sum(powers.values()),
-            ),
-            seed=seed,
-        )
+        workload = _point_workload(point, seed)
+        if workload_seconds is None:
+            workload_seconds = time.perf_counter() - workload_start
+    elif workload_seconds is None:
+        workload_seconds = 0.0
+    placement_start = time.perf_counter()
     if schedule is None:
         schedule = point_schedule(point, seed, chaos)
     config = ClusterConfig(
@@ -182,7 +212,7 @@ def run_chaos_scale_point(
     drive_start = time.perf_counter()
     result = engine.run_chaos()
     drive_seconds = time.perf_counter() - drive_start
-    setup_seconds = drive_start - setup_start
+    placement_seconds = drive_start - placement_start
     report = robustness_report(result, fault_rate=point.fault_rate)
     row = report.to_dict()
     row.update(
@@ -193,52 +223,81 @@ def run_chaos_scale_point(
             "n_requests": int(result.requests_injected),
             "duration_s": point.duration,
             "tuning_interval_s": point.tuning_interval,
-            "setup_seconds": round(setup_seconds, 4),
+            "workload_seconds": round(workload_seconds, 4),
+            "placement_seconds": round(placement_seconds, 4),
+            "setup_seconds": round(workload_seconds + placement_seconds, 4),
             "drive_seconds": round(drive_seconds, 4),
             "failure_declarations": result.failure_declarations,
             "recovery_declarations": result.recovery_declarations,
             "total_sheds": int(getattr(policy, "total_sheds", 0)),
+            "relocated": int(getattr(policy, "relocated_total", 0)),
+            "relocate_fraction": round(
+                float(getattr(policy, "relocate_fraction", 0.0)), 6
+            ),
+            "reshuffle_seconds": round(
+                float(getattr(policy, "reshuffle_seconds", 0.0)), 4
+            ),
             "fingerprint": chaos_fingerprint(result),
         }
     )
     return row
 
 
+def _chaos_scale_cell(job: Tuple[int, str]) -> Dict[str, object]:
+    """One (point, policy) sweep cell; reads the fork-shared payload."""
+    point_idx, policy_name = job
+    points, workloads, schedules, workload_seconds, seed = shared_payload()
+    return run_chaos_scale_point(
+        points[point_idx],
+        policy_name,
+        seed=seed,
+        workload=workloads[point_idx],
+        schedule=schedules[point_idx],
+        workload_seconds=workload_seconds[point_idx],
+    )
+
+
 def run_chaos_scale_sweep(
     points: Sequence[ChaosScalePoint] = DEFAULT_POINTS,
     policies: Sequence[str] = CHAOS_SCALE_POLICIES,
     seed: int = 1,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
-    """The full sweep; one workload + schedule per point, shared across
-    policies (both are immutable, so sharing is free — and it makes the
-    per-point policy comparison apples-to-apples: identical arrivals,
-    identical fault script)."""
+    """The full sweep, fanned out one (point, policy) cell per job.
+
+    One workload + schedule per point, generated in the parent and
+    shared across policies (both are immutable, so sharing is free —
+    and it makes the per-point policy comparison apples-to-apples:
+    identical arrivals, identical fault script). Cells travel through
+    :func:`stream_map`, so results merge in submission order and the
+    row list matches the sequential sweep's exactly.
+    """
+    points = list(points)
+    workers = resolve_workers(workers)
     chaos = ChaosConfig(seed=seed)
-    rows: List[Dict[str, object]] = []
+    workloads: List[ArrayWorkload] = []
+    schedules: List[FaultSchedule] = []
+    workload_seconds: List[float] = []
     for point in points:
-        powers = scale_powers(point.n_servers)
-        workload = generate_scale(
-            ScaleConfig(
-                n_filesets=point.n_filesets,
-                target_requests=point.n_requests,
-                duration=point.duration,
-                total_capacity=sum(powers.values()),
-            ),
-            seed=seed,
-        )
-        schedule = point_schedule(point, seed, chaos)
-        for policy_name in policies:
-            rows.append(
-                run_chaos_scale_point(
-                    point, policy_name, seed=seed,
-                    workload=workload, schedule=schedule,
-                )
-            )
+        t0 = time.perf_counter()
+        workloads.append(_point_workload(point, seed))
+        workload_seconds.append(time.perf_counter() - t0)
+        schedules.append(point_schedule(point, seed, chaos))
+    jobs = [(i, name) for i in range(len(points)) for name in policies]
+    rows = stream_map(
+        _chaos_scale_cell,
+        jobs,
+        payload=(points, workloads, schedules, workload_seconds, seed),
+        max_workers=workers,
+        chunk_size=1,
+    )
     return {
         "bench": "chaos_scale",
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
         "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "relocate_mode": relocate_mode_from_env(),
         "policies": list(policies),
         "detection_latency_bound_s": chaos.detection_latency_bound,
         "heartbeat": {
@@ -254,13 +313,14 @@ def render_chaos_scale(payload: Dict[str, object]) -> str:
     """ASCII table of a sweep payload (the CLI's printed output)."""
     lines = [
         f"chaos-scale sweep: seed={payload['seed']} "
-        f"detection bound={payload['detection_latency_bound_s']}s",
+        f"detection bound={payload['detection_latency_bound_s']}s "
+        f"workers={payload['workers']} relocate={payload['relocate_mode']}",
         f"{'point':>16} {'policy':>6} {'faults':>6} {'unavail':>8} "
         f"{'det.max':>8} {'recov(s)':>8} {'retries/req':>11} {'lost':>5} "
         f"{'violations':>10} {'drive(s)':>9}",
     ]
     for row in payload["rows"]:
-        point = f"{row['n_servers']}s/{row['n_filesets']}fs"
+        point = format_point_label(row["n_servers"], row["n_filesets"])
         det = max(row["detection_latencies_s"], default=0.0)
         recov = row["consistency_recovery_s"]
         lines.append(

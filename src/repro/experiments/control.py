@@ -67,11 +67,13 @@ from ..metrics.consistency import consistency_report
 from ..policies import ANURandomization, VectorANU
 from ..sim.rng import StreamRegistry
 from ..workloads import ShiftConfig, SyntheticConfig, generate_shifting, generate_synthetic
+from ..policies.vector import relocate_mode_from_env
 from ..workloads.calibrate import request_work_for_utilization
 from ..workloads.distributions import lognormal_work
 from ..workloads.scale import ArrayCatalog, ArrayWorkload
 from ..workloads.synthetic import Workload
-from .scale import scale_powers
+from .fanout import resolve_workers, shared_payload, stream_map
+from .scale import format_point_label, scale_powers
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -88,7 +90,7 @@ __all__ = [
 ]
 
 #: Bumped on any change to the BENCH_control.json row/payload shape.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The controller family under ablation (registry names).
 CONTROL_CONTROLLERS: Tuple[str, ...] = (
@@ -128,7 +130,7 @@ class ControlPoint:
     tuning_interval: float = 120.0
 
     def label(self) -> str:
-        return f"{self.mode}:{self.n_servers}s/{self.n_filesets}fs"
+        return f"{self.mode}:{format_point_label(self.n_servers, self.n_filesets)}"
 
 
 #: The paper's cluster on the scalar engine, and the planet-scale
@@ -443,6 +445,24 @@ def run_control_point(
             getattr(policy, "total_sheds", None)
             or getattr(getattr(policy, "manager", None), "total_sheds", 0)
         ),
+        # The relocation ledger exists only on RelocationStats policies
+        # (the vector path); paper-mode rows record null, not zero —
+        # the scalar adapter is uninstrumented, not relocation-free.
+        "relocated": (
+            int(policy.relocated_total)
+            if hasattr(policy, "relocated_total")
+            else None
+        ),
+        "relocate_fraction": (
+            round(float(policy.relocate_fraction), 6)
+            if hasattr(policy, "relocate_fraction")
+            else None
+        ),
+        "reshuffle_seconds": (
+            round(float(policy.reshuffle_seconds), 4)
+            if hasattr(policy, "reshuffle_seconds")
+            else None
+        ),
         "setup_seconds": round(setup_seconds, 4),
         "drive_seconds": round(drive_seconds, 4),
     }
@@ -492,35 +512,64 @@ def _feedback_wins(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]
     return wins
 
 
+def _control_cell(job: Tuple[int, str, str]) -> Dict[str, object]:
+    """One (point, scenario, controller) cell; fork-shared payload."""
+    point_idx, scenario, controller_name = job
+    points, workloads, seed = shared_payload()
+    return run_control_point(
+        points[point_idx],
+        scenario,
+        controller_name,
+        seed=seed,
+        workload=workloads[(point_idx, scenario)],
+    )
+
+
 def run_control_sweep(
     points: Sequence[ControlPoint] = DEFAULT_POINTS,
     controllers: Sequence[str] = CONTROL_CONTROLLERS,
     scenarios: Sequence[str] = CONTROL_SCENARIOS,
     seed: int = 1,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
-    """The full sweep; one workload per (point, scenario), shared
-    across controllers so the ablation is apples-to-apples (identical
-    arrivals, identical fault script)."""
-    rows: List[Dict[str, object]] = []
-    for point in points:
+    """The full sweep, one (point, scenario, controller) cell per job.
+
+    One workload per (point, scenario), generated in the parent and
+    shared across controllers so the ablation is apples-to-apples
+    (identical arrivals, identical fault script); the cells fan out
+    through :func:`stream_map` and merge in submission order, so the
+    row list matches the sequential sweep's exactly.
+    """
+    points = list(points)
+    workers = resolve_workers(workers)
+    workloads: Dict[Tuple[int, str], object] = {}
+    for i, point in enumerate(points):
         for scenario in scenarios:
-            workload = (
+            workloads[(i, scenario)] = (
                 _scalar_workload(point, scenario, seed)
                 if point.mode == "paper"
                 else _vector_workload(point, scenario, seed)
             )
-            for controller_name in controllers:
-                rows.append(
-                    run_control_point(
-                        point, scenario, controller_name,
-                        seed=seed, workload=workload,
-                    )
-                )
+    jobs = [
+        (i, scenario, controller_name)
+        for i in range(len(points))
+        for scenario in scenarios
+        for controller_name in controllers
+    ]
+    rows = stream_map(
+        _control_cell,
+        jobs,
+        payload=(points, workloads, seed),
+        max_workers=workers,
+        chunk_size=1,
+    )
     return {
         "bench": "control",
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
         "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "relocate_mode": relocate_mode_from_env(),
         "baseline_controller": BASELINE_CONTROLLER,
         "controllers": list(controllers),
         "scenarios": list(scenarios),
@@ -533,13 +582,14 @@ def render_control(payload: Dict[str, object]) -> str:
     """ASCII table of a sweep payload (the CLI's printed output)."""
     lines = [
         f"control sweep: seed={payload['seed']} "
-        f"baseline={payload['baseline_controller']}",
+        f"baseline={payload['baseline_controller']} "
+        f"workers={payload['workers']} relocate={payload['relocate_mode']}",
         f"{'point':>22} {'scenario':>8} {'ctrl':>14} {'conv':>5} "
         f"{'osc':>8} {'cov':>7} {'jain':>6} {'p99':>8} {'sheds':>8} "
         f"{'drive(s)':>9}",
     ]
     for row in payload["rows"]:
-        point = f"{row['mode']}:{row['n_servers']}s/{row['n_filesets']}fs"
+        point = f"{row['mode']}:{format_point_label(row['n_servers'], row['n_filesets'])}"
         conv = row["convergence_round"]
         lines.append(
             f"{point:>22} {row['scenario']:>8} {row['controller']:>14} "

@@ -37,7 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
-__all__ = ["default_workers", "shared_payload", "stream_map"]
+__all__ = ["default_workers", "resolve_workers", "shared_payload", "stream_map"]
 
 #: The fork-shared payload (set for the duration of one stream_map call).
 _PAYLOAD: Any = None
@@ -74,6 +74,20 @@ def default_workers() -> int:
             )
         return workers
     return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """An explicit worker count, or the environment/CPU default.
+
+    The sweeps call this once up front and record the result in their
+    payload, so every bench says how many workers produced it.
+    """
+    if workers is None:
+        return default_workers()
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
 
 
 def _set_payload(payload: Any) -> None:

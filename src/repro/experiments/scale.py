@@ -14,10 +14,22 @@ at-scale literature centers on:
   (Mukhopadhyay et al.).
 
 Per (point, policy) the sweep records throughput (simulated events per
-wall-clock second of drive time; setup — workload generation, hashing,
-initial placement — is reported separately) and policy quality: mean /
-p99 latency, the paper's consistency metrics (coefficient of variation
-and Jain index over per-server mean latency), and shed counts.
+wall-clock second of drive time; setup — workload generation and
+hashing/initial placement — is split into ``workload_seconds`` and
+``placement_seconds``) and policy quality: mean / p99 latency, the
+paper's consistency metrics (coefficient of variation and Jain index
+over per-server mean latency), shed counts, and the relocation ledger
+(``relocated``, ``relocate_fraction``, ``reshuffle_seconds`` — what the
+incremental epoch-delta path shrinks).
+
+The sweep fans its (point, policy) cells out through
+:func:`repro.experiments.fanout.stream_map`: workloads are generated
+once per point in the parent and travel to the workers by fork (zero
+copies), results stream back in submission order, and the payload
+records the ``workers`` count that produced it. ``--workers 1`` (or a
+single-CPU host) runs every cell in-process — byte-identical rows
+modulo timing fields. ``repeats > 1`` forces one worker, so the best-
+of-N drive timing never races a sibling cell for the core.
 
 ``python -m repro.experiments scale`` writes ``BENCH_scale.json``; the
 ``--smoke`` variant runs a seconds-sized subset for CI. The JSON schema
@@ -41,7 +53,9 @@ from ..engine import ClusterConfig, ExperimentSpec, VectorizedClientPath
 from ..metrics.consistency import consistency_report
 from ..policies import BoundedLoadConsistentHashing, JSQd, VectorANU
 from ..policies.base import LoadManager
+from ..policies.vector import relocate_mode_from_env
 from ..workloads.scale import ArrayWorkload, ScaleConfig, generate_scale
+from .fanout import resolve_workers, shared_payload, stream_map
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -50,6 +64,7 @@ __all__ = [
     "DEFAULT_POINTS",
     "SMOKE_POINTS",
     "ScalePoint",
+    "format_point_label",
     "make_scale_policy",
     "run_scale_point",
     "run_scale_sweep",
@@ -58,7 +73,7 @@ __all__ = [
 ]
 
 #: Bumped on any change to the BENCH_scale.json row/payload shape.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 SCALE_POLICIES: Tuple[str, ...] = ("anu", "chbl", "jsq2")
 
@@ -75,6 +90,16 @@ EVENTS_PER_COMPLETED_REQUEST = 3
 _POWER_PATTERN = (1.0, 3.0, 5.0, 7.0, 9.0)
 
 
+def format_point_label(n_servers: int, n_filesets: int) -> str:
+    """The canonical sweep-point label (``1000s/1000000fs``).
+
+    One definition for every sweep (scale, chaos-scale, control) and
+    every renderer — point labels in tables and in ``Point.label()``
+    can never drift apart.
+    """
+    return f"{n_servers}s/{n_filesets}fs"
+
+
 @dataclass(frozen=True)
 class ScalePoint:
     """One cluster size / workload size in the sweep."""
@@ -86,7 +111,7 @@ class ScalePoint:
     tuning_interval: float = 120.0
 
     def label(self) -> str:
-        return f"{self.n_servers}s/{self.n_filesets}fs"
+        return format_point_label(self.n_servers, self.n_filesets)
 
 
 #: Paper scale → two orders of magnitude up → the planet-scale point
@@ -124,47 +149,61 @@ def make_scale_policy(
     raise ValueError(f"unknown scale policy {name!r}; know {SCALE_POLICIES}")
 
 
+def _point_workload(point: ScalePoint, seed: int) -> ArrayWorkload:
+    """Generate one point's columnar workload (the shared-setup step)."""
+    powers = scale_powers(point.n_servers)
+    return generate_scale(
+        ScaleConfig(
+            n_filesets=point.n_filesets,
+            target_requests=point.n_requests,
+            duration=point.duration,
+            total_capacity=sum(powers.values()),
+        ),
+        seed=seed,
+    )
+
+
 def run_scale_point(
     point: ScalePoint,
     policy_name: str,
     seed: int = 1,
     workload: Optional[ArrayWorkload] = None,
     repeats: int = 1,
+    workload_seconds: Optional[float] = None,
 ) -> Dict[str, object]:
     """One vectorized run; returns a BENCH_scale row.
 
-    ``drive_seconds`` times :meth:`ClusterEngine.run` alone; workload
-    generation, engine assembly, and the policy's initial placement
-    (where the probe matrix is hashed) count as ``setup_seconds``.
-    Events are counted at :data:`EVENTS_PER_COMPLETED_REQUEST` per
-    completed request — the scalar kernel's measured per-request event
-    cost — so throughput is comparable to the scalar engine's
-    kernel-events/s. With ``repeats > 1`` the run is rebuilt and
-    re-driven that many times (results are deterministic, so only
-    timing varies); ``drive_seconds`` reports the best and
-    ``drive_seconds_all`` every repeat — an honest floor on a shared,
-    noisy host.
+    ``drive_seconds`` times :meth:`ClusterEngine.run` alone; setup is
+    split into ``workload_seconds`` (columnar workload generation —
+    measured here, or passed in by the sweep that generated the shared
+    workload) and ``placement_seconds`` (engine assembly plus the
+    policy's initial placement, where the probe matrix is hashed);
+    ``setup_seconds`` is their sum. Events are counted at
+    :data:`EVENTS_PER_COMPLETED_REQUEST` per completed request — the
+    scalar kernel's measured per-request event cost — so throughput is
+    comparable to the scalar engine's kernel-events/s. With
+    ``repeats > 1`` the run is rebuilt and re-driven that many times
+    (results are deterministic, so only timing varies);
+    ``drive_seconds`` reports the best and ``drive_seconds_all`` every
+    repeat — an honest floor on a shared, noisy host.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     powers = scale_powers(point.n_servers)
-    setup_start = time.perf_counter()
+    workload_start = time.perf_counter()
     if workload is None:
-        workload = generate_scale(
-            ScaleConfig(
-                n_filesets=point.n_filesets,
-                target_requests=point.n_requests,
-                duration=point.duration,
-                total_capacity=sum(powers.values()),
-            ),
-            seed=seed,
-        )
+        workload = _point_workload(point, seed)
+        if workload_seconds is None:
+            workload_seconds = time.perf_counter() - workload_start
+    elif workload_seconds is None:
+        workload_seconds = 0.0
     config = ClusterConfig(
         server_powers=powers,
         tuning_interval=point.tuning_interval,
         cache=CacheConfig(flush_work_scale=0.0, cold_factor=1.0, warmup_time=0.0),
         supply_knowledge=False,
     )
+    placement_start = time.perf_counter()
     drives: List[float] = []
     for _ in range(repeats):
         policy = make_scale_policy(policy_name, list(powers))
@@ -178,7 +217,7 @@ def run_scale_point(
         result = engine.run()
         drives.append(time.perf_counter() - drive_start)
     drive_seconds = min(drives)
-    setup_seconds = time.perf_counter() - setup_start - sum(drives)
+    placement_seconds = time.perf_counter() - placement_start - sum(drives)
     events = EVENTS_PER_COMPLETED_REQUEST * result.completed
     lat = result.all_latencies
     report = consistency_report(result, min_share=0.0)
@@ -190,7 +229,9 @@ def run_scale_point(
         "completed": int(result.completed),
         "duration_s": point.duration,
         "tuning_interval_s": point.tuning_interval,
-        "setup_seconds": round(setup_seconds, 4),
+        "workload_seconds": round(workload_seconds, 4),
+        "placement_seconds": round(placement_seconds, 4),
+        "setup_seconds": round(workload_seconds + placement_seconds, 4),
         "drive_seconds": round(drive_seconds, 4),
         "drive_seconds_all": [round(d, 4) for d in drives],
         "events": int(events),
@@ -200,7 +241,28 @@ def run_scale_point(
         "latency_cov": report.cov,
         "jain_index": report.jain,
         "total_sheds": int(getattr(policy, "total_sheds", 0)),
+        "relocated": int(getattr(policy, "relocated_total", 0)),
+        "relocate_fraction": round(
+            float(getattr(policy, "relocate_fraction", 0.0)), 6
+        ),
+        "reshuffle_seconds": round(
+            float(getattr(policy, "reshuffle_seconds", 0.0)), 4
+        ),
     }
+
+
+def _scale_cell(job: Tuple[int, str]) -> Dict[str, object]:
+    """One (point, policy) sweep cell; reads the fork-shared payload."""
+    point_idx, policy_name = job
+    points, workloads, workload_seconds, seed, repeats = shared_payload()
+    return run_scale_point(
+        points[point_idx],
+        policy_name,
+        seed=seed,
+        workload=workloads[point_idx],
+        repeats=repeats,
+        workload_seconds=workload_seconds[point_idx],
+    )
 
 
 def run_scale_sweep(
@@ -208,32 +270,43 @@ def run_scale_sweep(
     policies: Sequence[str] = SCALE_POLICIES,
     seed: int = 1,
     repeats: int = 1,
+    workers: Optional[int] = None,
 ) -> Dict[str, object]:
-    """The full sweep; one workload generation per point, shared across
-    policies (``ArrayWorkload`` is immutable, so sharing is free)."""
-    rows: List[Dict[str, object]] = []
+    """The full sweep, fanned out one (point, policy) cell per job.
+
+    Workloads are generated once per point in the parent (the
+    ``ArrayWorkload`` is immutable, so sharing is free) and reach the
+    workers zero-copy through the fork; results merge in submission
+    order, so the row list is identical to the sequential sweep's.
+    ``repeats > 1`` pins the sweep to one worker — best-of-N drive
+    timing on a core that sibling cells are racing for would be noise,
+    not a floor.
+    """
+    points = list(points)
+    workers = resolve_workers(workers)
+    if repeats > 1:
+        workers = 1
+    workloads: List[ArrayWorkload] = []
+    workload_seconds: List[float] = []
     for point in points:
-        powers = scale_powers(point.n_servers)
-        workload = generate_scale(
-            ScaleConfig(
-                n_filesets=point.n_filesets,
-                target_requests=point.n_requests,
-                duration=point.duration,
-                total_capacity=sum(powers.values()),
-            ),
-            seed=seed,
-        )
-        for policy_name in policies:
-            rows.append(
-                run_scale_point(
-                    point, policy_name, seed=seed, workload=workload, repeats=repeats
-                )
-            )
+        t0 = time.perf_counter()
+        workloads.append(_point_workload(point, seed))
+        workload_seconds.append(time.perf_counter() - t0)
+    jobs = [(i, name) for i in range(len(points)) for name in policies]
+    rows = stream_map(
+        _scale_cell,
+        jobs,
+        payload=(points, workloads, workload_seconds, seed, repeats),
+        max_workers=workers,
+        chunk_size=1,
+    )
     return {
         "bench": "scale",
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
         "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "relocate_mode": relocate_mode_from_env(),
         "policies": list(policies),
         "rows": rows,
     }
@@ -242,17 +315,20 @@ def run_scale_sweep(
 def render_scale(payload: Dict[str, object]) -> str:
     """ASCII table of a sweep payload (the CLI's printed output)."""
     lines = [
-        f"scale sweep: seed={payload['seed']} cpu_count={payload['cpu_count']}",
+        f"scale sweep: seed={payload['seed']} cpu_count={payload['cpu_count']} "
+        f"workers={payload['workers']} relocate={payload['relocate_mode']}",
         f"{'point':>14} {'policy':>6} {'events/s':>12} {'drive(s)':>9} "
-        f"{'mean lat':>9} {'p99 lat':>9} {'cov':>7} {'jain':>6} {'sheds':>8}",
+        f"{'mean lat':>9} {'p99 lat':>9} {'cov':>7} {'jain':>6} {'sheds':>8} "
+        f"{'reloc%':>7}",
     ]
     for row in payload["rows"]:
-        point = f"{row['n_servers']}s/{row['n_filesets']}fs"
+        point = format_point_label(row["n_servers"], row["n_filesets"])
         lines.append(
             f"{point:>14} {row['policy']:>6} {row['events_per_sec']:>12,.0f} "
             f"{row['drive_seconds']:>9.3f} {row['mean_latency']:>9.4f} "
             f"{row['p99_latency']:>9.4f} {row['latency_cov']:>7.4f} "
-            f"{row['jain_index']:>6.4f} {row['total_sheds']:>8}"
+            f"{row['jain_index']:>6.4f} {row['total_sheds']:>8} "
+            f"{100.0 * row['relocate_fraction']:>6.1f}%"
         )
     return "\n".join(lines)
 

@@ -26,7 +26,14 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..cluster.fileset import FileSetCatalog
 from ..core.tuning import LatencyReport
 
-__all__ = ["Move", "PrescientKnowledge", "LazyKnowledge", "RebalanceContext", "LoadManager"]
+__all__ = [
+    "Move",
+    "PrescientKnowledge",
+    "LazyKnowledge",
+    "RebalanceContext",
+    "LoadManager",
+    "RelocationStats",
+]
 
 
 @dataclass(frozen=True)
@@ -128,6 +135,64 @@ class RebalanceContext:
     reports: Sequence[LatencyReport]
     knowledge: Optional[PrescientKnowledge] = None
     observed_fileset_work: Optional[Dict[str, float]] = None
+
+
+class RelocationStats:
+    """Per-kind relocation accounting shared by the at-scale policies.
+
+    A *relocation round* is one reconfiguration (tuning round or
+    membership change) in which the policy re-resolved some subset of
+    its catalog; ``relocated`` counts the names actually re-resolved
+    (not the names that changed owner — that is ``total_sheds``).
+    ``relocate_fraction`` is relocated work over the total opportunity
+    (rounds × catalog size at the time), so a full re-resolution per
+    round reads exactly 1.0 and an incremental policy reads the moved
+    mass. Mixing policies call :meth:`_init_relocation_stats` in their
+    constructor and :meth:`_note_relocation` once per round; the probe
+    publishers drain :meth:`consume_last_relocation`.
+    """
+
+    #: How reconfigurations re-resolve the catalog. ``full`` = whole
+    #: catalog every round; ``incremental`` = only names the epoch
+    #: delta can invalidate; ``native`` = the policy's own structure is
+    #: already incremental (displacement ledgers, candidate re-picks).
+    relocate_mode: str = "native"
+
+    def _init_relocation_stats(self) -> None:
+        self.relocated_total = 0
+        self.relocation_rounds = 0
+        self.relocation_opportunity = 0
+        self.relocated_by_kind: Dict[str, int] = {}
+        self.reshuffle_seconds = 0.0
+        self._last_relocation: Optional[Dict[str, object]] = None
+
+    def _note_relocation(
+        self, kind: str, relocated: int, catalog_size: int, seconds: float
+    ) -> None:
+        self.relocation_rounds += 1
+        self.relocated_total += relocated
+        self.relocation_opportunity += catalog_size
+        self.relocated_by_kind[kind] = self.relocated_by_kind.get(kind, 0) + relocated
+        self.reshuffle_seconds += seconds
+        self._last_relocation = {
+            "kind": kind,
+            "relocated": relocated,
+            "catalog_size": catalog_size,
+            "seconds": seconds,
+            "mode": self.relocate_mode,
+        }
+
+    def consume_last_relocation(self) -> Optional[Dict[str, object]]:
+        """Pop the most recent round's record (``None`` if drained)."""
+        info, self._last_relocation = self._last_relocation, None
+        return info
+
+    @property
+    def relocate_fraction(self) -> float:
+        """Relocated names over the total opportunity (0 when no rounds)."""
+        if not self.relocation_opportunity:
+            return 0.0
+        return self.relocated_total / self.relocation_opportunity
 
 
 class LoadManager(abc.ABC):

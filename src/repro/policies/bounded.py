@@ -19,6 +19,7 @@ a reproducible benchmark needs; the load bound is enforced exactly.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -26,12 +27,18 @@ import numpy as np
 from ..cluster.fileset import FileSetCatalog
 from ..core.errors import ConfigurationError
 from ..core.hashing import HashFamily
-from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+from .base import (
+    LoadManager,
+    Move,
+    PrescientKnowledge,
+    RebalanceContext,
+    RelocationStats,
+)
 
 __all__ = ["BoundedLoadConsistentHashing"]
 
 
-class BoundedLoadConsistentHashing(LoadManager):
+class BoundedLoadConsistentHashing(RelocationStats, LoadManager):
     """Static consistent-hash placement with a per-server load bound."""
 
     name = "chbl"
@@ -80,6 +87,7 @@ class BoundedLoadConsistentHashing(LoadManager):
         #: Offsets of every item (kept for deterministic churn order).
         self._offsets: Optional[np.ndarray] = None
         self.total_sheds = 0
+        self._init_relocation_stats()
 
     # ------------------------------------------------------------------ #
     def initial_placement(
@@ -186,17 +194,21 @@ class BoundedLoadConsistentHashing(LoadManager):
             return []  # refuse to displace onto an empty cluster
         self._alive[slot] = False
         self._recompute_capacity()
+        start = time.perf_counter()
         items = np.flatnonzero(self._assign == slot)
-        if items.size == 0:
-            return []
-        # First home wins: only record a home for items that were not
-        # already refugees from an earlier crash.
-        fresh = self._displaced_from[items] == -1
-        self._displaced_from[items[fresh]] = slot
-        self.load[slot] -= items.size
-        self._assign[items] = -1
-        self._place(items, self._assign, self.load)
-        self.total_sheds += int(items.size)
+        if items.size:
+            # First home wins: only record a home for items that were
+            # not already refugees from an earlier crash.
+            fresh = self._displaced_from[items] == -1
+            self._displaced_from[items[fresh]] = slot
+            self.load[slot] -= items.size
+            self._assign[items] = -1
+            self._place(items, self._assign, self.load)
+            self.total_sheds += int(items.size)
+        self._note_relocation(
+            "fail", int(items.size), len(self._names),
+            time.perf_counter() - start,
+        )
         return []
 
     def server_added(self, server_id: object, power_hint=None) -> List[Move]:
@@ -212,6 +224,7 @@ class BoundedLoadConsistentHashing(LoadManager):
             return []
         self._alive[slot] = True
         self._recompute_capacity()
+        start = time.perf_counter()
         home = np.flatnonzero(self._displaced_from == slot)
         if home.size:
             refuge = self._assign[home]
@@ -220,6 +233,10 @@ class BoundedLoadConsistentHashing(LoadManager):
             self.load[slot] += home.size
             self._displaced_from[home] = -1
             self.total_sheds += int(home.size)
+        self._note_relocation(
+            "recover", int(home.size), len(self._names),
+            time.perf_counter() - start,
+        )
         return []
 
     def shared_state_entries(self) -> int:

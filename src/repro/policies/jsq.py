@@ -22,6 +22,7 @@ both forced by the metadata-cluster setting:
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
@@ -29,12 +30,18 @@ import numpy as np
 from ..cluster.fileset import FileSetCatalog
 from ..core.errors import ConfigurationError
 from ..core.hashing import HashFamily
-from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+from .base import (
+    LoadManager,
+    Move,
+    PrescientKnowledge,
+    RebalanceContext,
+    RelocationStats,
+)
 
 __all__ = ["JSQd"]
 
 
-class JSQd(LoadManager):
+class JSQd(RelocationStats, LoadManager):
     """Power-of-d-choices assignment on interval latency feedback."""
 
     def __init__(
@@ -69,6 +76,7 @@ class JSQd(LoadManager):
         #: deliberately: JSQ(d) decisions run on interval feedback).
         self._estimate = np.zeros(len(self.server_ids), dtype=np.float64)
         self.total_sheds = 0
+        self._init_relocation_stats()
 
     # ------------------------------------------------------------------ #
     def initial_placement(
@@ -112,7 +120,12 @@ class JSQd(LoadManager):
             if slot is not None and not math.isnan(report.mean_latency):
                 estimate[slot] = report.mean_latency
         self._estimate = estimate
+        start = time.perf_counter()
         new = self._pick(np.arange(self._assign.shape[0]))
+        self._note_relocation(
+            "tune", self._assign.shape[0], len(self._names),
+            time.perf_counter() - start,
+        )
         changed = np.flatnonzero(new != self._assign)
         old = self._assign
         self._assign = new
@@ -153,11 +166,15 @@ class JSQd(LoadManager):
         if int(self._alive.sum()) <= 1:
             return []  # refuse to strand the whole catalog
         self._alive[slot] = False
+        start = time.perf_counter()
         items = np.flatnonzero(self._assign == slot)
-        if items.size == 0:
-            return []
-        self._assign[items] = self._pick(items)
-        self.total_sheds += int(items.size)
+        if items.size:
+            self._assign[items] = self._pick(items)
+            self.total_sheds += int(items.size)
+        self._note_relocation(
+            "fail", int(items.size), len(self._names),
+            time.perf_counter() - start,
+        )
         return []
 
     def server_added(self, server_id: object, power_hint=None) -> List[Move]:
@@ -165,6 +182,7 @@ class JSQd(LoadManager):
         slot = self._slot.get(server_id)
         if slot is not None:
             self._alive[slot] = True
+            self._note_relocation("recover", 0, len(self._names), 0.0)
         return []
 
     def shared_state_entries(self) -> int:

@@ -6,10 +6,21 @@
 :class:`~repro.core.interval.IntervalLayout` geometry (the scalar/
 vector parity tests pin this per controller) — but
 keeps the file-set → server assignment as one integer array instead of
-a dict, and re-resolves the whole catalog per reconfiguration with the
-batched kernels of :mod:`repro.core.vector`. At a million file sets a
-reconfiguration costs two or three ``searchsorted`` passes rather than
-a million dict lookups.
+a dict, and re-resolves it per reconfiguration with the batched
+kernels of :mod:`repro.core.vector`.
+
+Reconfigurations are **incremental by default** (epoch-delta
+relocation): each round patches the :class:`SegmentTable` from the
+changed servers' spans, computes the exact set of intervals whose
+effective owner differs between the epochs
+(:func:`~repro.core.vector.segment_delta`), and re-resolves only the
+names whose materialized probe columns at rounds ``<= used`` intersect
+that delta — every other name provably keeps its ``(owner, used)``
+resolution, so per-round work is proportional to the *moved mass*
+instead of the catalog. ``REPRO_VECTOR_RELOCATE=full`` (or
+``relocate_mode="full"``) restores whole-catalog re-resolution; the
+two modes are pinned bit-for-bit equivalent (assignments, sheds,
+moves, chaos fingerprints) by hypothesis and golden tests.
 
 Differences from the scalar adapter, by design:
 
@@ -23,7 +34,9 @@ Differences from the scalar adapter, by design:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,13 +46,41 @@ from ..core.hashing import HashFamily
 from ..core.interval import IntervalLayout
 from ..core.layout import LayoutEngine
 from ..core.tuning import TuningPolicy
-from ..core.vector import ProbeMatrix, SegmentTable, batched_locate
-from .base import LoadManager, Move, PrescientKnowledge, RebalanceContext
+from ..core.vector import ProbeMatrix, SegmentTable, batched_locate, segment_delta
+from .base import (
+    LoadManager,
+    Move,
+    PrescientKnowledge,
+    RebalanceContext,
+    RelocationStats,
+)
 
-__all__ = ["VectorANU"]
+__all__ = ["VectorANU", "RELOCATE_MODES", "relocate_mode_from_env"]
+
+#: Valid values of ``REPRO_VECTOR_RELOCATE`` / ``relocate_mode=``.
+RELOCATE_MODES: Tuple[str, ...] = ("incremental", "full")
 
 
-class VectorANU(LoadManager):
+def relocate_mode_from_env() -> str:
+    """Relocation mode from ``REPRO_VECTOR_RELOCATE`` (default incremental).
+
+    The variable must name a known mode; anything else raises a
+    :class:`ValueError` naming the variable and the offending value — a
+    silently ignored typo here would quietly change what every sweep
+    measures.
+    """
+    env = os.environ.get("REPRO_VECTOR_RELOCATE")
+    if env is None or not env.strip():
+        return "incremental"
+    mode = env.strip().lower()
+    if mode not in RELOCATE_MODES:
+        raise ValueError(
+            f"REPRO_VECTOR_RELOCATE must be one of {RELOCATE_MODES}, got {env!r}"
+        )
+    return mode
+
+
+class VectorANU(RelocationStats, LoadManager):
     """Adaptive non-uniform randomization over array assignments."""
 
     name = "anu"
@@ -52,6 +93,7 @@ class VectorANU(LoadManager):
         n_partitions: Optional[int] = None,
         emit_moves: bool = True,
         controller: Optional[object] = None,
+        relocate_mode: Optional[str] = None,
     ) -> None:
         self.server_ids = list(server_ids)
         self.hash_family = hash_family or HashFamily()
@@ -82,6 +124,20 @@ class VectorANU(LoadManager):
         self.total_sheds = 0
         self.total_lookups = 0
         self.total_probes = 0
+        if relocate_mode is None:
+            relocate_mode = relocate_mode_from_env()
+        elif relocate_mode not in RELOCATE_MODES:
+            raise ValueError(
+                f"relocate_mode must be one of {RELOCATE_MODES}, got {relocate_mode!r}"
+            )
+        self.relocate_mode = relocate_mode
+        self._init_relocation_stats()
+        # Snapshots of the epoch the current assignment was resolved
+        # against — the baseline an incremental round diffs from.
+        self._table: Optional[SegmentTable] = None
+        self._table_blocked: Optional[np.ndarray] = None
+        self._table_partitions = 0
+        self._used: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def initial_placement(
@@ -101,14 +157,102 @@ class VectorANU(LoadManager):
         )
         for round_ in range(headroom):
             self._probes.column(round_)
+            if self.relocate_mode == "incremental":
+                # The delta scan reads the per-round sorted index; warm
+                # it here for the same reason — an argsort of a million
+                # names per probe round would otherwise land inside the
+                # first tuning round's reshuffle timing.
+                self._probes.sorted_column(round_)
         return {}
 
     def _relocate(self) -> None:
+        """Full re-resolution of the catalog (initial placement, and
+        every round in ``full`` mode)."""
         table = SegmentTable.from_layout(self.layout, self._slot)
-        blocked = self._blocked if self._blocked.any() else None
-        self._assign, used = batched_locate(self._probes, table, blocked=blocked)
+        blocked_mask = self._blocked.copy()
+        blocked = blocked_mask if blocked_mask.any() else None
+        self._assign, self._used = batched_locate(self._probes, table, blocked=blocked)
+        self._table = table
+        self._table_blocked = blocked_mask
+        self._table_partitions = self.layout.n_partitions
         self.total_lookups += len(self._names)
-        self.total_probes += int(used.sum())
+        self.total_probes += int(self._used.sum())
+
+    def _relocate_delta(
+        self, changed_sids: Optional[Sequence[object]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Incremental re-resolution against the epoch delta.
+
+        Patches the segment table from the changed servers' spans,
+        sweeps the exact set of intervals whose effective owner changed
+        (:func:`segment_delta`), and re-resolves only the names with a
+        materialized probe at rounds ``<= used`` inside those
+        intervals. Returns ``(invalidated indices, their old owners)``
+        — everything else provably resolves identically: at rounds
+        before its resolving probe a kept name's offsets were
+        effectively unmapped and still are (no delta hit), and at the
+        resolving round its owner is unchanged.
+        """
+        old_table = self._table
+        old_blocked = self._table_blocked
+        new_blocked = self._blocked.copy()
+        if changed_sids is None or self.layout.n_partitions != self._table_partitions:
+            # Unknown change set, or a repartition rewrote every
+            # region's representation: rebuild the table, keep the
+            # delta-based invalidation (it diffs tables, not layouts).
+            new_table = SegmentTable.from_layout(self.layout, self._slot)
+        else:
+            members = set(self.layout.server_ids)
+            n_partitions = self.layout.n_partitions
+            changed = {
+                self._slot[sid]: (
+                    self.layout.region(sid).segments(n_partitions)
+                    if sid in members
+                    else []
+                )
+                for sid in changed_sids
+            }
+            new_table = SegmentTable.patched(old_table, changed)
+        d_starts, d_ends = segment_delta(
+            old_table, new_table, old_blocked, new_blocked
+        )
+        invalid: np.ndarray
+        if d_starts.size == 0:
+            invalid = np.empty(0, dtype=np.int64)
+        else:
+            used = self._used
+            max_used = int(used.max()) if used.size else 0
+            chunks = []
+            for round_ in range(max_used):
+                vals, order = self._probes.sorted_column(round_)
+                lo = np.searchsorted(vals, d_starts, side="left")
+                hi = np.searchsorted(vals, d_ends, side="left")
+                hits = [order[a:b] for a, b in zip(lo, hi) if b > a]
+                if not hits:
+                    continue
+                cand = np.concatenate(hits)
+                cand = cand[used[cand] >= round_ + 1]
+                if cand.size:
+                    chunks.append(cand)
+            invalid = (
+                np.unique(np.concatenate(chunks))
+                if chunks
+                else np.empty(0, dtype=np.int64)
+            )
+        old_owner = self._assign[invalid].copy()
+        if invalid.size:
+            blocked = new_blocked if new_blocked.any() else None
+            owner_sub, used_sub = batched_locate(
+                self._probes, new_table, blocked=blocked, subset=invalid
+            )
+            self._assign[invalid] = owner_sub
+            self._used[invalid] = used_sub
+            self.total_lookups += int(invalid.size)
+            self.total_probes += int(used_sub.sum())
+        self._table = new_table
+        self._table_blocked = new_blocked
+        self._table_partitions = self.layout.n_partitions
+        return invalid, old_owner
 
     # ------------------------------------------------------------------ #
     def locate(self, fileset: str) -> object:
@@ -139,7 +283,12 @@ class VectorANU(LoadManager):
         reports = [r for r in ctx.reports if r.server_id in members]
         targets = self.controller.observe(before, reports)
         self.engine.apply_targets(self.layout, targets)
-        return self._reshuffle()
+        # apply_targets only touches servers with a non-trivial delta,
+        # and a touched server's mapped length always changes — so the
+        # length diff is exactly the changed-region set.
+        after = self.layout.lengths()
+        changed_sids = [sid for sid, length in after.items() if before[sid] != length]
+        return self._reshuffle("tune", changed_sids)
 
     def use_controller(self, controller: object) -> None:
         """Swap the tuning rule in at assembly time (see ANUManager)."""
@@ -147,20 +296,47 @@ class VectorANU(LoadManager):
         self.policy = getattr(self.controller, "policy", None)
         self.engine = LayoutEngine(floor_length=self.controller.floor_length)
 
-    def _reshuffle(self) -> List[Move]:
-        """Re-resolve the catalog against the current layout."""
+    def _reshuffle(
+        self,
+        kind: str = "tune",
+        changed_sids: Optional[Sequence[object]] = None,
+    ) -> List[Move]:
+        """Re-resolve the catalog against the current layout.
+
+        ``changed_sids`` is the set of servers whose regions the caller
+        just touched (``None`` = unknown → table rebuild); ``kind``
+        labels the round in the relocation counters. Both modes produce
+        identical assignments, shed counts, and :class:`Move` lists —
+        the incremental path just skips re-resolving names the epoch
+        delta cannot invalidate.
+        """
         old = self._assign
         self.epoch += 1
         self._vector_cache = None
-        self._relocate()
-        changed = np.flatnonzero(old != self._assign)
+        start = time.perf_counter()
+        if self.relocate_mode == "incremental" and self._table is not None:
+            invalid, old_owner = self._relocate_delta(changed_sids)
+            moved = self._assign[invalid] != old_owner
+            changed = invalid[moved]
+            changed_old = old_owner[moved]
+            relocated = int(invalid.size)
+        else:
+            self._relocate()
+            changed = np.flatnonzero(old != self._assign)
+            changed_old = old[changed]
+            relocated = len(self._names)
+        seconds = time.perf_counter() - start
+        self._note_relocation(kind, relocated, len(self._names), seconds)
         self.total_sheds += int(changed.size)
         if not self.emit_moves or changed.size == 0:
             return []
         names = self._names
         sids = self.server_ids
         new = self._assign
-        return [Move(names[i], sids[old[i]], sids[new[i]]) for i in changed]
+        return [
+            Move(names[i], sids[o], sids[new[i]])
+            for i, o in zip(changed, changed_old)
+        ]
 
     # ------------------------------------------------------------------ #
     # churn (vectorized chaos path)
@@ -176,7 +352,9 @@ class VectorANU(LoadManager):
             return []
         self.engine.evict(self.layout, server_id)
         self._blocked[self._slot[server_id]] = True
-        return self._reshuffle()
+        # Eviction rescales every survivor and empties the victim.
+        changed_sids = list(self.layout.server_ids) + [server_id]
+        return self._reshuffle("fail", changed_sids)
 
     def server_added(self, server_id: object, power_hint=None) -> List[Move]:
         """Re-admit a recovered server with a fresh default region."""
@@ -184,7 +362,9 @@ class VectorANU(LoadManager):
             return []
         self.engine.admit(self.layout, server_id)
         self._blocked[self._slot[server_id]] = False
-        return self._reshuffle()
+        # Admission rescales every incumbent to make room; a triggered
+        # repartition is caught by the partition-count snapshot.
+        return self._reshuffle("recover", list(self.layout.server_ids))
 
     # ------------------------------------------------------------------ #
     def shared_state_entries(self) -> int:

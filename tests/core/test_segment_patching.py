@@ -1,0 +1,199 @@
+"""Incremental segment-table patching and the epoch-delta sweep.
+
+``SegmentTable.patched`` splices a changed subset of servers' spans
+into an existing sorted table; the incremental relocation path stands
+on it being *bitwise* equal to a ``from_layout`` rebuild — same
+``starts``/``ends``/``owners`` arrays, same grid, same ``locate``
+answers, including at exact patched-segment boundaries. These tests
+pin that, plus the ``segment_delta`` interval sweep the invalidation
+rule reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interval import IntervalLayout
+from repro.core.layout import LayoutEngine
+from repro.core.vector import SegmentTable, segment_delta
+
+SIDS = [f"s{i}" for i in range(6)]
+
+
+def _slots(sids):
+    return {sid: i for i, sid in enumerate(sids)}
+
+
+def _spans(layout, sid):
+    return layout.region(sid).segments(layout.n_partitions)
+
+
+def _tuned(layout, targets):
+    LayoutEngine().apply_targets(layout, targets)
+    return layout
+
+
+def _patch_from_layouts(old_layout, new_layout, slots):
+    """Patch the old table with every server whose length changed —
+    exactly what ``VectorANU._relocate_delta`` does after a tune."""
+    base = SegmentTable.from_layout(old_layout, slots)
+    before = old_layout.lengths()
+    after = new_layout.lengths()
+    changed = {
+        slots[sid]: _spans(new_layout, sid)
+        for sid in new_layout.server_ids
+        if before.get(sid) != after[sid]
+    }
+    return SegmentTable.patched(base, changed)
+
+
+def _assert_tables_identical(got, want):
+    np.testing.assert_array_equal(got.starts, want.starts)
+    np.testing.assert_array_equal(got.ends, want.ends)
+    np.testing.assert_array_equal(got.owners, want.owners)
+    offsets = np.random.default_rng(0).uniform(0.0, 1.0, 20_000)
+    np.testing.assert_array_equal(got.locate(offsets), want.locate(offsets))
+
+
+class TestPatched:
+    def test_empty_delta_returns_base(self):
+        layout = IntervalLayout.initial(SIDS)
+        base = SegmentTable.from_layout(layout, _slots(SIDS))
+        assert SegmentTable.patched(base, {}) is base
+
+    def test_tune_patch_equals_rebuild(self):
+        slots = _slots(SIDS)
+        old = IntervalLayout.initial(list(SIDS))
+        new = IntervalLayout.initial(list(SIDS))
+        _tuned(new, {sid: 0.4 + 0.3 * i for i, sid in enumerate(SIDS)})
+        got = _patch_from_layouts(old, new, slots)
+        _assert_tables_identical(got, SegmentTable.from_layout(new, slots))
+
+    def test_evicted_server_patch_equals_rebuild(self):
+        slots = _slots(SIDS)
+        old = IntervalLayout.initial(list(SIDS))
+        new = IntervalLayout.initial(list(SIDS))
+        LayoutEngine().evict(new, SIDS[2])
+        base = SegmentTable.from_layout(old, slots)
+        # Every incumbent rescaled; the victim's spans empty out.
+        changed = {slots[sid]: _spans(new, sid) for sid in new.server_ids}
+        changed[slots[SIDS[2]]] = []
+        got = SegmentTable.patched(base, changed)
+        _assert_tables_identical(got, SegmentTable.from_layout(new, slots))
+        assert slots[SIDS[2]] not in set(got.owners)
+
+    def test_boundary_offsets_on_patched_segments(self):
+        """Offsets exactly on a patched segment's start/end stay
+        half-open: the start belongs to the segment, the end does not."""
+        slots = _slots(SIDS)
+        old = IntervalLayout.initial(list(SIDS))
+        new = IntervalLayout.initial(list(SIDS))
+        _tuned(new, {sid: 1.7 if i % 2 else 0.5 for i, sid in enumerate(SIDS)})
+        table = _patch_from_layouts(old, new, slots)
+        np.testing.assert_array_equal(table.locate(table.starts), table.owners)
+        just_inside = np.nextafter(table.ends, -np.inf)
+        np.testing.assert_array_equal(table.locate(just_inside), table.owners)
+        # An exact end either opens the next segment or falls in a gap,
+        # but never belongs to the segment it closes.
+        at_end = table.locate(table.ends[:-1])
+        closes = table.owners[:-1]
+        opens = table.owners[1:]
+        contiguous = table.ends[:-1] == table.starts[1:]
+        np.testing.assert_array_equal(
+            at_end, np.where(contiguous, opens, -1)
+        )
+        assert not np.any((at_end == closes) & ~contiguous & (closes != opens))
+
+    def test_single_segment_layout(self):
+        slots = {"only": 0}
+        layout = IntervalLayout.initial(["only"])
+        base = SegmentTable.from_layout(layout, slots)
+        grown = IntervalLayout.initial(["only"])
+        _tuned(grown, {"only": 1.9})
+        got = SegmentTable.patched(
+            base, {0: _spans(grown, "only")}
+        )
+        _assert_tables_identical(got, SegmentTable.from_layout(grown, slots))
+        assert got.locate(np.array([0.999]))[0] == -1  # tail stays unmapped
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        rounds=st.integers(1, 4),
+    )
+    def test_patched_equals_rebuild_property(self, seed, rounds):
+        """Random tuning histories: patching the changed servers into
+        the previous epoch's table always reproduces a full rebuild."""
+        rng = np.random.default_rng(seed)
+        slots = _slots(SIDS)
+        layout = IntervalLayout.initial(list(SIDS))
+        table = SegmentTable.from_layout(layout, slots)
+        for _ in range(rounds):
+            before = layout.lengths()
+            targets = {sid: float(rng.uniform(0.2, 2.2)) for sid in SIDS}
+            _tuned(layout, targets)
+            after = layout.lengths()
+            changed = {
+                slots[sid]: _spans(layout, sid)
+                for sid in SIDS
+                if before[sid] != after[sid]
+            }
+            table = SegmentTable.patched(table, changed)
+            _assert_tables_identical(table, SegmentTable.from_layout(layout, slots))
+
+
+class TestSegmentDelta:
+    def test_identical_tables_empty_delta(self):
+        layout = IntervalLayout.initial(SIDS)
+        table = SegmentTable.from_layout(layout, _slots(SIDS))
+        starts, ends = segment_delta(table, table)
+        assert starts.size == 0 and ends.size == 0
+
+    def test_delta_covers_exactly_the_moved_mass(self):
+        slots = _slots(SIDS)
+        old_layout = IntervalLayout.initial(list(SIDS))
+        new_layout = IntervalLayout.initial(list(SIDS))
+        _tuned(new_layout, {sid: 0.3 + 0.4 * i for i, sid in enumerate(SIDS)})
+        old = SegmentTable.from_layout(old_layout, slots)
+        new = SegmentTable.from_layout(new_layout, slots)
+        starts, ends = segment_delta(old, new)
+        assert starts.size == ends.size > 0
+        assert np.all(starts < ends)
+        assert np.all(starts[1:] >= ends[:-1])  # disjoint, sorted
+        # Inside every delta interval ownership differs; outside, not.
+        probes = np.random.default_rng(1).uniform(0.0, 1.0, 50_000)
+        diff = old.locate(probes) != new.locate(probes)
+        idx = np.searchsorted(starts, probes, side="right") - 1
+        inside = (idx >= 0) & (probes < ends[np.maximum(idx, 0)])
+        np.testing.assert_array_equal(diff, inside)
+
+    def test_fully_blocked_new_table_invalidates_every_mapped_region(self):
+        """Blocking every server makes the whole mapped area a delta:
+        every offset that used to resolve now effectively resolves to
+        -1, so the union of delta intervals is the old mapped set."""
+        slots = _slots(SIDS)
+        layout = IntervalLayout.initial(list(SIDS))
+        table = SegmentTable.from_layout(layout, slots)
+        all_blocked = np.ones(len(SIDS), dtype=bool)
+        starts, ends = segment_delta(
+            table, table, old_blocked=None, new_blocked=all_blocked
+        )
+        assert np.isclose((ends - starts).sum(), 0.5)  # half-occupancy
+        probes = np.random.default_rng(2).uniform(0.0, 1.0, 20_000)
+        mapped = table.locate(probes) >= 0
+        idx = np.searchsorted(starts, probes, side="right") - 1
+        inside = (idx >= 0) & (probes < ends[np.maximum(idx, 0)])
+        np.testing.assert_array_equal(mapped, inside)
+
+    def test_blocked_masks_cancel(self):
+        """The same blocked mask on both sides is not a delta."""
+        slots = _slots(SIDS)
+        layout = IntervalLayout.initial(list(SIDS))
+        table = SegmentTable.from_layout(layout, slots)
+        mask = np.zeros(len(SIDS), dtype=bool)
+        mask[2] = True
+        starts, _ = segment_delta(
+            table, table, old_blocked=mask, new_blocked=mask.copy()
+        )
+        assert starts.size == 0

@@ -78,6 +78,18 @@ class TestSweepSmoke:
             r["fingerprint"] for r in again["rows"]
         ]
 
+    def test_fanout_identical_modulo_timing(self, payload):
+        """Fanning cells over two workers reproduces the sequential
+        rows byte-for-byte, fingerprints included."""
+        timing = {"setup_seconds", "workload_seconds", "placement_seconds",
+                  "reshuffle_seconds", "drive_seconds", "events_per_sec"}
+        parallel = run_chaos_scale_sweep(points=TINY, seed=1, workers=2)
+        assert payload["workers"] == 1 and parallel["workers"] == 2
+        for a, b in zip(payload["rows"], parallel["rows"]):
+            for key in set(a) | set(b):
+                if key not in timing:
+                    assert a[key] == b[key], key
+
     def test_render_mentions_every_row(self, payload):
         table = render_chaos_scale(payload)
         for row in payload["rows"]:

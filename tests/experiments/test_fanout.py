@@ -7,7 +7,12 @@ import os
 
 import pytest
 
-from repro.experiments.fanout import default_workers, shared_payload, stream_map
+from repro.experiments.fanout import (
+    default_workers,
+    resolve_workers,
+    shared_payload,
+    stream_map,
+)
 
 
 # ---------------------------------------------------------------------- #
@@ -133,3 +138,21 @@ class TestDefaultWorkers:
         monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "0")
         with pytest.raises(ValueError, match=">= 1"):
             default_workers()
+
+
+class TestResolveWorkers:
+    def test_none_defers_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_explicit_count_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "5")
+        assert resolve_workers(2) == 2
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(-3)

@@ -56,7 +56,8 @@ class TestSweepSmoke:
 
     def test_deterministic_modulo_timing(self, payload):
         again = run_scale_sweep(points=TINY, seed=1)
-        timing = {"setup_seconds", "drive_seconds", "drive_seconds_all",
+        timing = {"setup_seconds", "workload_seconds", "placement_seconds",
+                  "reshuffle_seconds", "drive_seconds", "drive_seconds_all",
                   "events_per_sec"}
         for a, b in zip(payload["rows"], again["rows"]):
             for key in set(a) - timing:
@@ -66,6 +67,52 @@ class TestSweepSmoke:
         row = run_scale_point(TINY[0], "anu", seed=1, repeats=2)
         assert len(row["drive_seconds_all"]) == 2
         assert row["drive_seconds"] == min(row["drive_seconds_all"])
+
+
+TIMING_KEYS = frozenset(
+    {
+        "setup_seconds",
+        "workload_seconds",
+        "placement_seconds",
+        "reshuffle_seconds",
+        "drive_seconds",
+        "drive_seconds_all",
+        "events_per_sec",
+    }
+)
+
+
+class TestFanOut:
+    """The sweep fans cells out over ``stream_map``; rows must be
+    byte-identical to the sequential (``workers=1``) run modulo
+    wall-clock timing, in the same submission order."""
+
+    def test_workers_recorded_in_payload(self, payload):
+        assert payload["workers"] == 1  # module fixture runs sequentially
+        assert payload["relocate_mode"] == "incremental"
+
+    def test_parallel_rows_identical_modulo_timing(self, payload):
+        parallel = run_scale_sweep(points=TINY, seed=1, workers=2)
+        assert parallel["workers"] == 2
+        assert len(parallel["rows"]) == len(payload["rows"])
+        for a, b in zip(payload["rows"], parallel["rows"]):
+            for key in set(a) | set(b):
+                if key in TIMING_KEYS:
+                    continue
+                assert a[key] == b[key], key
+
+    def test_repeats_pin_to_one_worker(self):
+        """``repeats > 1`` exists for honest best-of-N drive timing —
+        fanning repeats out across workers would let cells contend for
+        cores and poison the measurement, so the sweep pins itself."""
+        payload = run_scale_sweep(points=TINY, seed=1, repeats=2, workers=4)
+        assert payload["workers"] == 1
+        for row in payload["rows"]:
+            assert len(row["drive_seconds_all"]) == 2
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_scale_sweep(points=TINY, seed=1, workers=0)
 
 
 class TestSchemaGuard:

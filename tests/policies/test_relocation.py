@@ -1,0 +1,232 @@
+"""Incremental epoch-delta relocation: equivalence and the ledger.
+
+``VectorANU`` defaults to re-resolving only delta-invalidated names
+(``relocate_mode="incremental"``); every observable — assignments,
+probe depths, emitted moves, shed counts — must be bit-identical to
+the ``full`` mode that re-resolves the whole catalog. Golden tests pin
+the equivalence across tuning rounds and crash/recovery churn, a
+hypothesis property drives randomized timelines, and the
+``REPRO_VECTOR_RELOCATE`` escape hatch plus the ``RelocationStats``
+ledger get their contract checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.fileset import FileSet, FileSetCatalog
+from repro.core.hashing import HashFamily
+from repro.core.tuning import LatencyReport
+from repro.policies.base import RebalanceContext, RelocationStats
+from repro.policies.vector import (
+    RELOCATE_MODES,
+    VectorANU,
+    relocate_mode_from_env,
+)
+
+SIDS = list(range(8))
+
+
+def _catalog(n):
+    return FileSetCatalog(
+        [FileSet(name=f"/fs/{i}", total_work=1.0, n_requests=10) for i in range(n)]
+    )
+
+
+def _policy(mode, n_filesets=2_000, emit_moves=True):
+    policy = VectorANU(
+        list(SIDS),
+        hash_family=HashFamily(seed=0),
+        emit_moves=emit_moves,
+        relocate_mode=mode,
+    )
+    policy.initial_placement(_catalog(n_filesets), None)
+    return policy
+
+
+def _reports(policy, means):
+    return [
+        LatencyReport(
+            server_id=sid,
+            mean_latency=float(mean),
+            request_count=10,
+            window=(0.0, 120.0),
+            idle_rounds=0,
+            prev_mean_latency=math.nan,
+        )
+        for sid, mean in zip(policy.layout.server_ids, means)
+    ]
+
+
+def _tune(policy, round_, means):
+    ctx = RebalanceContext(
+        now=120.0 * round_, round_index=round_, reports=_reports(policy, means)
+    )
+    return policy.rebalance(ctx)
+
+
+def _assert_twins(a, b, what):
+    np.testing.assert_array_equal(a._assign, b._assign, err_msg=what)
+    np.testing.assert_array_equal(a._used, b._used, err_msg=what)
+    assert a.total_sheds == b.total_sheds, what
+
+
+class TestGoldenEquivalence:
+    def test_tuning_rounds_bit_identical(self):
+        a, b = _policy("incremental"), _policy("full")
+        rng = np.random.default_rng(7)
+        for round_ in range(10):
+            means = rng.gamma(2.0, 1.0, size=len(SIDS))
+            moves_a = _tune(a, round_, means)
+            moves_b = _tune(b, round_, means)
+            assert moves_a == moves_b, f"round {round_}"
+            _assert_twins(a, b, f"round {round_}")
+        # Incremental must actually have saved work, or it is just a
+        # slower spelling of full.
+        assert 0 < a.relocated_total < b.relocated_total
+        assert b.relocate_fraction == 1.0
+
+    def test_churn_bit_identical(self):
+        a, b = _policy("incremental"), _policy("full")
+        rng = np.random.default_rng(13)
+        for round_ in range(8):
+            means = rng.gamma(2.0, 1.0, size=a.layout.n_servers)
+            _tune(a, round_, means)
+            _tune(b, round_, means)
+            if round_ == 2:
+                assert a.server_failed(3) == b.server_failed(3)
+                _assert_twins(a, b, "fail")
+            if round_ == 5:
+                assert a.server_added(3) == b.server_added(3)
+                _assert_twins(a, b, "recover")
+        _assert_twins(a, b, "final")
+        assert set(a.relocated_by_kind) == {"tune", "fail", "recover"}
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        events=st.lists(
+            st.sampled_from(["tune", "fail", "recover"]), min_size=3, max_size=8
+        ),
+    )
+    def test_random_timelines_bit_identical(self, seed, events):
+        a = _policy("incremental", n_filesets=600)
+        b = _policy("full", n_filesets=600)
+        rng = np.random.default_rng(seed)
+        down = set()
+        for round_, kind in enumerate(events):
+            if kind == "tune" or (kind == "fail" and len(down) >= len(SIDS) - 1):
+                means = rng.gamma(2.0, 1.0, size=a.layout.n_servers)
+                assert _tune(a, round_, means) == _tune(b, round_, means)
+            elif kind == "fail":
+                victim = int(rng.choice([s for s in SIDS if s not in down]))
+                down.add(victim)
+                assert a.server_failed(victim) == b.server_failed(victim)
+            elif down:
+                back = int(rng.choice(sorted(down)))
+                down.discard(back)
+                assert a.server_added(back) == b.server_added(back)
+            _assert_twins(a, b, f"event {round_} ({kind})")
+
+
+class TestEscapeHatch:
+    def test_env_default_is_incremental(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_RELOCATE", raising=False)
+        assert relocate_mode_from_env() == "incremental"
+
+    @pytest.mark.parametrize("mode", RELOCATE_MODES)
+    def test_env_selects_mode(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_VECTOR_RELOCATE", mode)
+        assert relocate_mode_from_env() == mode
+        policy = VectorANU(list(SIDS), hash_family=HashFamily(seed=0))
+        assert policy.relocate_mode == mode
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_RELOCATE", "fastest")
+        with pytest.raises(ValueError, match="REPRO_VECTOR_RELOCATE"):
+            relocate_mode_from_env()
+
+    def test_constructor_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            VectorANU(
+                list(SIDS), hash_family=HashFamily(seed=0), relocate_mode="bogus"
+            )
+
+
+class TestRelocationLedger:
+    def test_fraction_before_any_round_is_zero(self):
+        policy = _policy("incremental")
+        assert policy.relocate_fraction == 0.0
+        assert policy.consume_last_relocation() is None
+
+    def test_consume_pops_one_record(self):
+        policy = _policy("incremental")
+        _tune(policy, 0, np.linspace(1.0, 5.0, len(SIDS)))
+        info = policy.consume_last_relocation()
+        assert info is not None
+        assert info["kind"] == "tune"
+        assert info["mode"] == "incremental"
+        assert info["catalog_size"] == 2_000
+        assert 0 <= info["relocated"] <= 2_000
+        assert policy.consume_last_relocation() is None  # popped
+
+    def test_full_mode_fraction_is_one(self):
+        policy = _policy("full")
+        _tune(policy, 0, np.linspace(1.0, 5.0, len(SIDS)))
+        assert policy.relocate_fraction == 1.0
+
+    def test_mixin_is_opt_in(self):
+        assert isinstance(_policy("incremental"), RelocationStats)
+
+
+class TestProbePublishing:
+    def test_relocation_applied_reaches_the_bus(self):
+        """A vectorized run publishes one RelocationApplied per tuning
+        round, carrying the policy's mode."""
+        from repro.cluster.cache import CacheConfig
+        from repro.engine import (
+            ClusterConfig,
+            ExperimentSpec,
+            RelocationApplied,
+            VectorizedClientPath,
+        )
+        from repro.workloads.scale import ScaleConfig, generate_scale
+
+        powers = {sid: 1.0 + sid for sid in SIDS}
+        workload = generate_scale(
+            ScaleConfig(
+                n_filesets=200,
+                target_requests=4_000,
+                duration=600.0,
+                total_capacity=sum(powers.values()),
+            ),
+            seed=1,
+        )
+        policy = VectorANU(
+            list(SIDS), hash_family=HashFamily(seed=0), relocate_mode="incremental"
+        )
+        engine = ExperimentSpec(
+            workload=workload,
+            policy=policy,
+            config=ClusterConfig(
+                server_powers=powers,
+                tuning_interval=60.0,
+                cache=CacheConfig(
+                    flush_work_scale=0.0, cold_factor=1.0, warmup_time=0.0
+                ),
+                supply_knowledge=False,
+            ),
+            client_path=VectorizedClientPath(),
+        ).build()
+        events = []
+        engine.bus.subscribe(RelocationApplied, events.append)
+        engine.run()
+        assert events, "no RelocationApplied published"
+        assert {e.mode for e in events} == {"incremental"}
+        assert {e.kind for e in events} == {"tune"}
+        assert all(e.catalog_size == 200 for e in events)
+        assert sum(e.relocated for e in events) == policy.relocated_total

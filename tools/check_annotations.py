@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Implicit-Optional lint: parameter annotations must admit their default.
+
+The kernel signatures once read ``blocked: np.ndarray = None`` — an
+annotation that promises an array while the default hands callers
+``None``. Ruff's RUF013 catches this in CI; this checker enforces the
+same rule from a plain AST walk so it runs on hosts without ruff
+installed (and keeps the gate alive if the ruff config drifts).
+
+Run from the repository root (CI does)::
+
+    python tools/check_annotations.py            # src, tests, tools
+    python tools/check_annotations.py src        # one tree
+
+A parameter violates when it is annotated, defaults to ``None``, and
+the annotation mentions neither ``Optional``, ``None`` (as in
+``X | None``), nor ``Any``. Exit status 0 when clean; 1 with one line
+per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_TREES = ("src", "tests", "tools")
+
+#: Annotation substrings that legitimately admit a ``None`` default.
+_PERMISSIVE = ("Optional", "None", "Any", "object")
+
+
+def _admits_none(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return any(token in text for token in _PERMISSIVE)
+
+
+def _check_function(fn: ast.AST, path: Path, problems: list[str]) -> None:
+    args = fn.args
+    # Positional defaults align with the *tail* of posonly + args.
+    positional = args.posonlyargs + args.args
+    pairs = list(zip(positional[len(positional) - len(args.defaults):], args.defaults))
+    pairs += [
+        (arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is not None
+    ]
+    for arg, default in pairs:
+        if not isinstance(default, ast.Constant) or default.value is not None:
+            continue
+        if arg.annotation is None or _admits_none(arg.annotation):
+            continue
+        problems.append(
+            f"{path}:{arg.lineno}: parameter {arg.arg!r} of {fn.name!r} is "
+            f"annotated {ast.unparse(arg.annotation)!r} but defaults to None "
+            "(use Optional[...])"
+        )
+
+
+def check_file(path: Path) -> list[str]:
+    """All implicit-Optional violations in one file."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # the tier-1 suite will fail louder
+        return [f"{path}: syntax error: {exc}"]
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(node, path, problems)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    trees = argv[1:] or list(DEFAULT_TREES)
+    problems: list[str] = []
+    checked = 0
+    for tree in trees:
+        root = Path(tree)
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            checked += 1
+            problems.extend(check_file(path))
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} implicit-Optional violation(s)", file=sys.stderr)
+        return 1
+    print(f"annotation lint OK: {checked} files, no implicit-Optional defaults")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

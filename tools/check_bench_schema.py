@@ -32,11 +32,11 @@ from pathlib import Path
 NoneType = type(None)
 
 #: Must match ``repro.experiments.scale.SCHEMA_VERSION``.
-SCALE_SCHEMA_VERSION = 1
+SCALE_SCHEMA_VERSION = 2
 #: Must match ``repro.experiments.chaos_scale.SCHEMA_VERSION``.
-CHAOS_SCALE_SCHEMA_VERSION = 1
+CHAOS_SCALE_SCHEMA_VERSION = 2
 #: Must match ``repro.experiments.control.SCHEMA_VERSION``.
-CONTROL_SCHEMA_VERSION = 1
+CONTROL_SCHEMA_VERSION = 2
 
 _NUM = (int, float)
 
@@ -78,6 +78,8 @@ BENCHES = {
             "schema_version": int,
             "seed": int,
             "cpu_count": int,
+            "workers": int,
+            "relocate_mode": str,
             "policies": list,
             "rows": list,
         },
@@ -89,6 +91,8 @@ BENCHES = {
             "completed": int,
             "duration_s": _NUM,
             "tuning_interval_s": _NUM,
+            "workload_seconds": _NUM,
+            "placement_seconds": _NUM,
             "setup_seconds": _NUM,
             "drive_seconds": _NUM,
             "drive_seconds_all": list,
@@ -99,8 +103,12 @@ BENCHES = {
             "latency_cov": _NUM,
             "jain_index": _NUM,
             "total_sheds": int,
+            "relocated": int,
+            "relocate_fraction": _NUM,
+            "reshuffle_seconds": _NUM,
         },
         "finite": ("events_per_sec",),
+        "unit": ("relocate_fraction",),
     },
     "chaos_scale": {
         "default_path": "BENCH_chaos_scale.json",
@@ -110,6 +118,8 @@ BENCHES = {
             "schema_version": int,
             "seed": int,
             "cpu_count": int,
+            "workers": int,
+            "relocate_mode": str,
             "policies": list,
             "detection_latency_bound_s": _NUM,
             "heartbeat": dict,
@@ -123,13 +133,19 @@ BENCHES = {
             "n_requests": int,
             "duration_s": _NUM,
             "tuning_interval_s": _NUM,
+            "workload_seconds": _NUM,
+            "placement_seconds": _NUM,
             "setup_seconds": _NUM,
             "drive_seconds": _NUM,
             "failure_declarations": int,
             "recovery_declarations": int,
             "total_sheds": int,
+            "relocated": int,
+            "relocate_fraction": _NUM,
+            "reshuffle_seconds": _NUM,
         },
         "zero": ("invariant_violations", "requests_lost"),
+        "unit": ("relocate_fraction",),
     },
     "control": {
         "default_path": "BENCH_control.json",
@@ -139,6 +155,8 @@ BENCHES = {
             "schema_version": int,
             "seed": int,
             "cpu_count": int,
+            "workers": int,
+            "relocate_mode": str,
             "baseline_controller": str,
             "controllers": list,
             "scenarios": list,
@@ -164,9 +182,15 @@ BENCHES = {
             "latency_cov": _NUM,
             "jain_index": _NUM,
             "total_sheds": int,
+            # Paper-mode rows record null: the scalar adapter carries
+            # no relocation ledger (uninstrumented ≠ zero relocations).
+            "relocated": (int, NoneType),
+            "relocate_fraction": _NUM + (NoneType,),
+            "reshuffle_seconds": _NUM + (NoneType,),
             "setup_seconds": _NUM,
             "drive_seconds": _NUM,
         },
+        "unit": ("relocate_fraction",),
         "finite": (
             "oscillation",
             "mean_latency",
@@ -305,6 +329,12 @@ def check_payload(payload: object, bench: str | None = None) -> list[str]:
                 problems.append(
                     f"{where}: {key!r} must be 0 in a committed bench, "
                     f"got {row.get(key)!r}"
+                )
+        for key in spec.get("unit", ()):
+            value = row.get(key)
+            if isinstance(value, _NUM) and not (0.0 <= value <= 1.0):
+                problems.append(
+                    f"{where}: {key!r} must be within [0, 1], got {value!r}"
                 )
     return problems
 

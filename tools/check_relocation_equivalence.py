@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Relocation-equivalence gate: incremental must equal full, bit for bit.
+
+``VectorANU`` re-resolves only delta-invalidated names by default
+(``REPRO_VECTOR_RELOCATE=incremental``); the claim the optimization
+stands on is that this is *indistinguishable* from re-resolving the
+whole catalog (``full``) — same assignments, same sheds, same moves,
+same chaos fingerprints — at every reconfiguration: tuning rounds,
+crash/recovery churn, and full chaos timelines.
+
+This gate runs both modes over the CI-sized sweeps and compares the
+rows:
+
+* every ``scale`` SMOKE_POINTS cell (tuning rounds only), and
+* every ``chaos_scale`` SMOKE_POINTS cell (compiled churn + chaos),
+  where the row carries the run's ``chaos_fingerprint`` — a content
+  hash over the drained latency arrays, so a single re-resolved name
+  diverging anywhere flips it.
+
+Rows must match on every key except wall-clock timing and the
+relocation ledger itself (``relocated``/``relocate_fraction`` measure
+how much *work* each mode did — the full mode re-resolves everything
+by definition, that asymmetry is the point).
+
+Run from the repository root (CI does)::
+
+    python tools/check_relocation_equivalence.py
+
+Exit status 0 when the modes agree everywhere; 1 with one line per
+divergent key otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+#: Keys that legitimately differ between modes: wall-clock timing, and
+#: the relocation ledger (it *measures* the work saved).
+EXEMPT = {
+    "workload_seconds",
+    "placement_seconds",
+    "setup_seconds",
+    "drive_seconds",
+    "drive_seconds_all",
+    "events_per_sec",
+    "reshuffle_seconds",
+    "relocated",
+    "relocate_fraction",
+}
+
+
+def _diff_rows(label: str, incremental: dict, full: dict) -> list[str]:
+    problems = []
+    for key in sorted(set(incremental) | set(full)):
+        if key in EXEMPT:
+            continue
+        a, b = incremental.get(key), full.get(key)
+        if a != b:
+            problems.append(
+                f"{label}: {key!r} diverges: incremental={a!r} full={b!r}"
+            )
+    return problems
+
+
+def _mode_rows(mode: str) -> list[tuple[str, dict]]:
+    """Every smoke cell's row under one relocation mode."""
+    os.environ["REPRO_VECTOR_RELOCATE"] = mode
+    from repro.experiments.chaos_scale import (
+        SMOKE_POINTS as CHAOS_POINTS,
+        run_chaos_scale_point,
+    )
+    from repro.experiments.scale import SMOKE_POINTS, run_scale_point
+
+    rows = []
+    for point in SMOKE_POINTS:
+        rows.append(
+            (f"scale {point.label()}", run_scale_point(point, "anu", seed=1))
+        )
+    for point in CHAOS_POINTS:
+        rows.append(
+            (
+                f"chaos-scale {point.label()}",
+                run_chaos_scale_point(point, "anu", seed=1),
+            )
+        )
+    return rows
+
+
+def main() -> int:
+    saved = os.environ.get("REPRO_VECTOR_RELOCATE")
+    try:
+        incremental = _mode_rows("incremental")
+        full = _mode_rows("full")
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_VECTOR_RELOCATE", None)
+        else:
+            os.environ["REPRO_VECTOR_RELOCATE"] = saved
+    problems: list[str] = []
+    for (label, row_inc), (_, row_full) in zip(incremental, full):
+        problems.extend(_diff_rows(label, row_inc, row_full))
+        if row_inc.get("relocated", 0) > row_full.get("relocated", 0):
+            problems.append(
+                f"{label}: incremental re-resolved more names than full "
+                f"({row_inc['relocated']} > {row_full['relocated']})"
+            )
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} equivalence violation(s)", file=sys.stderr)
+        return 1
+    saved_work = [
+        (label, inc.get("relocated"), full_row.get("relocated"))
+        for (label, inc), (_, full_row) in zip(incremental, full)
+    ]
+    print(f"relocation equivalence OK: {len(incremental)} cells, both modes agree")
+    for label, inc_n, full_n in saved_work:
+        print(f"  {label}: re-resolved {inc_n} (incremental) vs {full_n} (full)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
