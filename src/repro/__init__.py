@@ -34,6 +34,14 @@ layer never drags in the ones above it)
     Measurement collection and statistical/bound analysis.
 ``repro.experiments``
     The figure-by-figure reproduction harness.
+``repro.control``
+    The pluggable tuning-control layer shared by scalar and vector
+    engines (and the live service's epoch batcher).
+``repro.knobs``
+    The strict ``REPRO_*`` environment-knob validators and registry.
+``repro.service``
+    ANU as a live placement service: asyncio locator, echo file
+    servers, multi-process load generation, digital-twin parity.
 """
 
 from __future__ import annotations
@@ -45,13 +53,16 @@ __version__ = "1.0.0"
 _SUBPACKAGES = (
     "analysis",
     "cluster",
+    "control",
     "core",
     "distributed",
     "engine",
     "experiments",
     "faults",
+    "knobs",
     "metrics",
     "policies",
+    "service",
     "sim",
     "workloads",
 )

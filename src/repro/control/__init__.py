@@ -34,6 +34,7 @@ from typing import Dict, Optional, Type
 from ..core.errors import ConfigurationError
 from ..core.tuning import TuningPolicy
 from .base import Controller
+from .batch import EpochBatcher
 from .brownout import BrownoutController
 from .feedback import PIController, PolePlacementController
 from .forecast import ForecastingController
@@ -41,6 +42,7 @@ from .multiplicative import MultiplicativeController
 
 __all__ = [
     "Controller",
+    "EpochBatcher",
     "MultiplicativeController",
     "PIController",
     "PolePlacementController",

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "RetryPolicy",
+    "RequestLedger",
     "drive_attempts",
     "HardenedClient",
     "RequestDriver",
@@ -44,6 +45,95 @@ __all__ = [
     "BasicClientPath",
     "HardenedClientPath",
 ]
+
+
+class RequestLedger:
+    """The request-conservation ledger, independent of any clock.
+
+    Shared bookkeeping between the simulated :class:`HardenedClient`
+    and the live ``repro.service`` client: both drive logical requests
+    through locate-retry-redirect loops, and both are held to the same
+    two invariants —
+
+    * **conservation**: ``injected == completed + failed + in_flight``;
+    * **classification**: every in-flight request sits in exactly one
+      of ``dispatching`` / ``awaiting_service`` / ``backing_off``.
+
+    The ledger knows nothing about *how* requests are driven (simulated
+    processes vs asyncio tasks); it only counts transitions, which is
+    what makes the chaos invariants portable to sockets.
+    """
+
+    def __init__(self) -> None:
+        #: Logical requests handed to the client.
+        self.injected = 0
+        #: Logical requests that completed (first successful attempt).
+        self.completed = 0
+        #: Logical requests abandoned after ``max_attempts``.
+        self.failed = 0
+        #: Logical requests currently being driven.
+        self.in_flight = 0
+        #: Re-submissions after a failed/suspected/unroutable attempt.
+        self.retries = 0
+        #: Retries that landed on a *different* server than the last try.
+        self.redirects = 0
+        #: Attempts abandoned because the timeout found the target dead.
+        self.timeouts = 0
+        #: Where each in-flight request currently sits (classification
+        #: of the horizon remainder): accepted but the driver has not
+        #: started yet, waiting on a submitted attempt, or in a backoff
+        #: sleep between attempts. Every in-flight request is in exactly
+        #: one bucket — the conservation sweep asserts it.
+        self.dispatching = 0
+        self.awaiting_service = 0
+        self.backing_off = 0
+        #: End-to-end latency of every completed logical request.
+        self.latency = Tally(keep=True)
+
+    # ------------------------------------------------------------------ #
+    # transitions
+    # ------------------------------------------------------------------ #
+    def ledger_inject(self) -> None:
+        """A logical request enters the client."""
+        self.injected += 1
+        self.in_flight += 1
+        self.dispatching += 1
+
+    def ledger_settle(self, latency: float) -> None:
+        """A logical request completed with measured ``latency``."""
+        self.completed += 1
+        self.in_flight -= 1
+        self.latency.observe(latency)
+
+    def ledger_exhaust(self) -> None:
+        """A logical request gave up after exhausting its attempts."""
+        self.failed += 1
+        self.in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+    @property
+    def conserved(self) -> bool:
+        """The request-conservation ledger: injected == done + pending."""
+        return self.injected == self.completed + self.failed + self.in_flight
+
+    @property
+    def classified(self) -> bool:
+        """Every in-flight request sits in exactly one known bucket."""
+        return self.in_flight == (
+            self.dispatching + self.awaiting_service + self.backing_off
+        )
+
+    @property
+    def lost(self) -> int:
+        """Requests the ledger cannot account for (must always be 0)."""
+        return self.injected - self.completed - self.failed - self.in_flight
+
+    @property
+    def retries_per_request(self) -> float:
+        """Mean retries per injected logical request."""
+        return self.retries / self.injected if self.injected else 0.0
 
 
 @dataclass(frozen=True)
@@ -203,7 +293,7 @@ def drive_attempts(
         ledger._exhaust(request)
 
 
-class HardenedClient:
+class HardenedClient(RequestLedger):
     """Retrying, redirecting request submission path.
 
     Parameters
@@ -237,43 +327,18 @@ class HardenedClient:
         suspected: Optional[Callable[[], Set[object]]] = None,
         probe=None,
     ) -> None:
+        super().__init__()
         self.env = env
         self.route = route
         self.policy = policy or RetryPolicy()
         self.rng = rng
         self.suspected = suspected
         self.probe = probe
-        #: Logical requests handed to the client.
-        self.injected = 0
-        #: Logical requests that completed (first successful attempt).
-        self.completed = 0
-        #: Logical requests abandoned after ``max_attempts``.
-        self.failed = 0
-        #: Logical requests currently being driven.
-        self.in_flight = 0
-        #: Re-submissions after a failed/suspected/unroutable attempt.
-        self.retries = 0
-        #: Retries that landed on a *different* server than the last try.
-        self.redirects = 0
-        #: Attempts abandoned because the timeout found the target dead.
-        self.timeouts = 0
-        #: Where each in-flight request currently sits (classification
-        #: of the horizon remainder): accepted but the driver process
-        #: has not started yet, waiting on a submitted attempt, or in
-        #: a backoff sleep between attempts. Every in-flight request is
-        #: in exactly one bucket — the conservation sweep asserts it.
-        self.dispatching = 0
-        self.awaiting_service = 0
-        self.backing_off = 0
-        #: End-to-end latency of every completed logical request.
-        self.latency = Tally(keep=True)
 
     # ------------------------------------------------------------------ #
     def submit(self, request: "MetadataRequest"):
         """Drive one logical request to completion (or exhaustion)."""
-        self.injected += 1
-        self.in_flight += 1
-        self.dispatching += 1
+        self.ledger_inject()
         return self.env.process(self._drive(request))
 
     def _drive(self, request: "MetadataRequest"):
@@ -292,35 +357,14 @@ class HardenedClient:
     # ledger transitions (called by drive_attempts)
     # ------------------------------------------------------------------ #
     def _settle(self, request: "MetadataRequest", latency: float) -> None:
-        self.completed += 1
-        self.in_flight -= 1
-        self.latency.observe(latency)
+        self.ledger_settle(latency)
 
     def _exhaust(self, request: "MetadataRequest") -> None:
-        self.failed += 1
-        self.in_flight -= 1
+        self.ledger_exhaust()
         if self.probe is not None:
             self.probe.publish(
                 RequestFailed(time=self.env.now, fileset=request.fileset)
             )
-
-    # ------------------------------------------------------------------ #
-    @property
-    def conserved(self) -> bool:
-        """The request-conservation ledger: injected == done + pending."""
-        return self.injected == self.completed + self.failed + self.in_flight
-
-    @property
-    def classified(self) -> bool:
-        """Every in-flight request sits in exactly one known bucket."""
-        return self.in_flight == (
-            self.dispatching + self.awaiting_service + self.backing_off
-        )
-
-    @property
-    def retries_per_request(self) -> float:
-        """Mean retries per injected logical request."""
-        return self.retries / self.injected if self.injected else 0.0
 
 
 class RequestDriver:

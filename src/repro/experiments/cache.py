@@ -47,6 +47,7 @@ import numpy as np
 
 from .. import __version__
 from ..engine.record import ClusterResult
+from ..knobs import env_flag, register_knob
 from ..workloads.synthetic import SyntheticConfig, Workload, generate_synthetic
 from .config import ExperimentConfig
 
@@ -62,22 +63,23 @@ __all__ = [
 #: Bump when the pickled layout of Workload/ClusterResult changes.
 _SCHEMA = 1
 
-_TRUTHY = ("", "on", "1", "true", "yes")
-_FALSY = ("off", "0", "false", "no")
+register_knob(
+    "REPRO_CACHE",
+    kind="flag",
+    default=True,
+    help="enable/disable the on-disk workload+result cache",
+)
+register_knob(
+    "REPRO_CACHE_DIR",
+    kind="path",
+    default="~/.cache/repro-sim",
+    help="override the on-disk cache location",
+)
 
 
 def _cache_enabled_from_env() -> bool:
     """Parse ``REPRO_CACHE`` strictly; a typo must not silently enable."""
-    raw = os.environ.get("REPRO_CACHE", "")
-    value = raw.strip().lower()
-    if value in _TRUTHY:
-        return True
-    if value in _FALSY:
-        return False
-    raise ValueError(
-        "REPRO_CACHE must be one of "
-        f"{'/'.join(_TRUTHY[1:] + _FALSY)} (got {raw!r})"
-    )
+    return env_flag("REPRO_CACHE", default=True)
 
 # ---------------------------------------------------------------------- #
 # in-process workload memo

@@ -37,7 +37,16 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
+from ..knobs import env_int, register_knob
+
 __all__ = ["default_workers", "resolve_workers", "shared_payload", "stream_map"]
+
+register_knob(
+    "REPRO_PARALLEL_WORKERS",
+    kind="int",
+    default=None,
+    help="worker-process count for experiment fan-out (default: CPU count)",
+)
 
 #: The fork-shared payload (set for the duration of one stream_map call).
 _PAYLOAD: Any = None
@@ -60,18 +69,8 @@ def default_workers() -> int:
     a silently ignored typo here would quietly serialize (or fail to
     bound) every sweep.
     """
-    env = os.environ.get("REPRO_PARALLEL_WORKERS")
-    if env is not None and env.strip():
-        try:
-            workers = int(env)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_PARALLEL_WORKERS must be a positive integer, got {env!r}"
-            ) from None
-        if workers < 1:
-            raise ValueError(
-                f"REPRO_PARALLEL_WORKERS must be >= 1, got {workers}"
-            )
+    workers = env_int("REPRO_PARALLEL_WORKERS", default=None, minimum=1)
+    if workers is not None:
         return workers
     return os.cpu_count() or 1
 

@@ -34,7 +34,6 @@ Differences from the scalar adapter, by design:
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -47,6 +46,7 @@ from ..core.interval import IntervalLayout
 from ..core.layout import LayoutEngine
 from ..core.tuning import TuningPolicy
 from ..core.vector import ProbeMatrix, SegmentTable, batched_locate, segment_delta
+from ..knobs import env_choice, register_knob
 from .base import (
     LoadManager,
     Move,
@@ -60,6 +60,14 @@ __all__ = ["VectorANU", "RELOCATE_MODES", "relocate_mode_from_env"]
 #: Valid values of ``REPRO_VECTOR_RELOCATE`` / ``relocate_mode=``.
 RELOCATE_MODES: Tuple[str, ...] = ("incremental", "full")
 
+register_knob(
+    "REPRO_VECTOR_RELOCATE",
+    kind="choice",
+    default="incremental",
+    help="relocation strategy for the vectorized ANU path",
+    choices=RELOCATE_MODES,
+)
+
 
 def relocate_mode_from_env() -> str:
     """Relocation mode from ``REPRO_VECTOR_RELOCATE`` (default incremental).
@@ -69,14 +77,8 @@ def relocate_mode_from_env() -> str:
     silently ignored typo here would quietly change what every sweep
     measures.
     """
-    env = os.environ.get("REPRO_VECTOR_RELOCATE")
-    if env is None or not env.strip():
-        return "incremental"
-    mode = env.strip().lower()
-    if mode not in RELOCATE_MODES:
-        raise ValueError(
-            f"REPRO_VECTOR_RELOCATE must be one of {RELOCATE_MODES}, got {env!r}"
-        )
+    mode = env_choice("REPRO_VECTOR_RELOCATE", RELOCATE_MODES, default="incremental")
+    assert mode is not None  # default is non-None
     return mode
 
 

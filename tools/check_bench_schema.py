@@ -9,7 +9,8 @@ Run from the repository root (CI does)::
 Validates each benchmark artifact against the schema the code writes
 today: top-level keys, ``schema_version`` where the bench carries one,
 and the per-row key set and value types — one schema table per bench
-(``scale``, ``chaos_scale``, ``control``, ``robustness``, ``perf``).
+(``scale``, ``chaos_scale``, ``control``, ``robustness``, ``perf``,
+``service``).
 The point is
 drift detection — if an experiment module changes its payload shape,
 this gate fails until both the artifact and (deliberately) this checker
@@ -17,7 +18,11 @@ are updated.
 
 The two chaos benches also get semantic gates: ``invariant_violations``
 and ``requests_lost`` must be zero in every row — a committed bench
-that recorded a violation is a red build, not a data point.
+that recorded a violation is a red build, not a data point. The live
+``service`` bench gets the same treatment at the top level:
+``requests_lost`` must be 0 and the conservation / convergence /
+digital-twin verdicts (``conserved``, ``classified``, ``converged``,
+``twin_ok``) must all be true.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -37,6 +42,8 @@ SCALE_SCHEMA_VERSION = 2
 CHAOS_SCALE_SCHEMA_VERSION = 2
 #: Must match ``repro.experiments.control.SCHEMA_VERSION``.
 CONTROL_SCHEMA_VERSION = 2
+#: Must match ``repro.service.bench.SCHEMA_VERSION``.
+SERVICE_SCHEMA_VERSION = 1
 
 _NUM = (int, float)
 
@@ -218,6 +225,63 @@ BENCHES = {
         "row": _ROBUSTNESS_ROW,
         "zero": ("invariant_violations", "requests_lost"),
     },
+    "service": {
+        "default_path": "BENCH_service.json",
+        "schema_version": SERVICE_SCHEMA_VERSION,
+        "top": {
+            "bench": str,
+            "schema_version": int,
+            "version": str,
+            "profile": str,
+            "seed": int,
+            "clients": int,
+            "epoch_seconds": _NUM,
+            "duration_s": _NUM,
+            "time_scale": _NUM,
+            "n_servers": int,
+            "server_powers": dict,
+            "n_filesets": int,
+            "requests_injected": int,
+            "requests_completed": int,
+            "requests_failed": int,
+            "requests_lost": int,
+            "conserved": bool,
+            "classified": bool,
+            "retries": int,
+            "redirects": int,
+            "timeouts": int,
+            "requests_per_sec": _NUM,
+            "mean_latency_s": _NUM + (NoneType,),
+            "p50_latency_s": _NUM + (NoneType,),
+            "p99_latency_s": _NUM + (NoneType,),
+            "epochs": int,
+            "convergence_epochs": (int, NoneType),
+            "converged": bool,
+            "locates": int,
+            "latency_samples": int,
+            "twin": dict,
+            "twin_ok": bool,
+            "rows": list,
+        },
+        "row": {
+            "epoch": int,
+            "start_s": _NUM,
+            "end_s": _NUM,
+            "completed": int,
+            "requests_per_sec": _NUM,
+            "mean_latency_s": _NUM + (NoneType,),
+            "p99_latency_s": _NUM + (NoneType,),
+            "average_latency_s": _NUM + (NoneType,),
+            "movement_l1": _NUM,
+            "moved_filesets": int,
+        },
+        "finite": ("requests_per_sec",),
+        "unit": ("movement_l1",),
+        # A committed live run must account for every request and both
+        # twin replays must be inside tolerance — else it's a red build.
+        "zero_top": ("requests_lost",),
+        "true_top": ("conserved", "classified", "converged", "twin_ok"),
+    },
     "perf": {
         "default_path": "BENCH_perf.json",
         "schema_version": None,
@@ -303,6 +367,18 @@ def check_payload(payload: object, bench: str | None = None) -> list[str]:
     for key in spec.get("nonempty", ()):
         if isinstance(payload.get(key), list) and not payload[key]:
             problems.append(f"top-level {key!r} must be non-empty")
+    for key in spec.get("zero_top", ()):
+        if key in payload and payload.get(key) != 0:
+            problems.append(
+                f"top-level {key!r} must be 0 in a committed bench, "
+                f"got {payload.get(key)!r}"
+            )
+    for key in spec.get("true_top", ()):
+        if key in payload and payload.get(key) is not True:
+            problems.append(
+                f"top-level {key!r} must be true in a committed bench, "
+                f"got {payload.get(key)!r}"
+            )
     if spec["row"] is None:
         return problems
     rows = payload.get("rows")

@@ -118,6 +118,52 @@ BANS: Tuple[Tuple[str, str, str], ...] = (
         "repro.workloads",
         "controllers must not depend on workload generation",
     ),
+    # The live service sits at the very top: it may import the engine,
+    # control, workloads, and metrics layers, but nothing below may
+    # reach back up into it — the simulator must stay runnable without
+    # a single socket in sight.
+    (
+        "repro.core",
+        "repro.service",
+        "core kernels are below the live service",
+    ),
+    (
+        "repro.engine",
+        "repro.service",
+        "the engine is below the live service",
+    ),
+    (
+        "repro.sim",
+        "repro.service",
+        "the simulation kernel is below the live service",
+    ),
+    (
+        "repro.control",
+        "repro.service",
+        "controllers are below the live service",
+    ),
+    (
+        "repro.workloads",
+        "repro.service",
+        "workload generation is below the live service",
+    ),
+    (
+        "repro.policies",
+        "repro.service",
+        "placement policies are below the live service",
+    ),
+    (
+        "repro.cluster",
+        "repro.service",
+        "the cluster model is below the live service",
+    ),
+    # The strict env-knob validators are a leaf utility: they import
+    # nothing from repro and everything may import them.
+    (
+        "repro.knobs",
+        "repro.",
+        "the knob validators are a leaf module with no repro deps",
+    ),
 )
 
 
